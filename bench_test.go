@@ -1,0 +1,178 @@
+// Benchmarks regenerating every paper artifact (one benchmark per
+// experiment E1-E12, see DESIGN.md for the artifact index), plus
+// convergence micro-benchmarks per protocol and network size.
+//
+// Run: go test -bench=. -benchmem
+package selfstab
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// benchExperiment runs one experiment per iteration on the quick suite
+// and fails the benchmark if the paper claim check fails.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := run(experiment.Config{
+			Seed:     uint64(i) + 1,
+			Trials:   2,
+			MaxSteps: 500000,
+			Quick:    true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass {
+			b.Fatalf("%s failed:\n%s", id, res.Table.String())
+		}
+	}
+}
+
+func BenchmarkE1ColoringConvergence(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2Bits(b *testing.B)                { benchExperiment(b, "E2") }
+func BenchmarkE3MISRounds(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkE4MISStability(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5MatchingRounds(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6MatchingStability(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7Stitch(b *testing.B)              { benchExperiment(b, "E7") }
+func BenchmarkE8StitchDag(b *testing.B)           { benchExperiment(b, "E8") }
+func BenchmarkE9DagOrient(b *testing.B)           { benchExperiment(b, "E9") }
+func BenchmarkE10StabilizedOverhead(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Schedulers(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12Concurrent(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkE13Transformer(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14Scaling(b *testing.B)            { benchExperiment(b, "E14") }
+func BenchmarkE15Faults(b *testing.B)             { benchExperiment(b, "E15") }
+
+// Convergence micro-benchmarks: one full stabilization per iteration.
+
+func benchProtocol(b *testing.B, build func(*Network) (*model.System, error), topo string, n int) {
+	b.Helper()
+	net, err := Generate(topo, n, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := build(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sys, Options{Seed: uint64(i) + 1, MaxSteps: 2_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Silent {
+			b.Fatal("no silence")
+		}
+		b.ReportMetric(float64(res.StepsToSilence), "steps/conv")
+		b.ReportMetric(float64(res.RoundsToSilence), "rounds/conv")
+	}
+}
+
+func BenchmarkColoringConvergence(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("gnp-%d", n), func(b *testing.B) {
+			benchProtocol(b, NewColoring, "gnp", n)
+		})
+	}
+}
+
+func BenchmarkMISConvergence(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("gnp-%d", n), func(b *testing.B) {
+			benchProtocol(b, NewMIS, "gnp", n)
+		})
+	}
+}
+
+func BenchmarkMatchingConvergence(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("gnp-%d", n), func(b *testing.B) {
+			benchProtocol(b, NewMatching, "gnp", n)
+		})
+	}
+}
+
+// Engine micro-benchmarks.
+
+func BenchmarkSimulatorStep(b *testing.B) {
+	net, err := Generate("torus", 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewMIS(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := model.NewRandomConfig(sys, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.ExecuteStep(sys, cfg, []int{i % sys.N()}, i, nil, nil)
+	}
+}
+
+func BenchmarkCommSilent(b *testing.B) {
+	net, err := Generate("torus", 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewMIS(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := model.NewRandomConfig(sys, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.CommSilent(sys, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyColoring(b *testing.B) {
+	g := graph.RandomConnectedGNP(200, 0.05, rng.New(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		colors := graph.GreedyLocalColoring(g)
+		if !graph.IsProperColoring(g, colors) {
+			b.Fatal("improper coloring")
+		}
+	}
+}
+
+func BenchmarkConcurrentMIS(b *testing.B) {
+	net, err := Generate("grid", 16, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewMIS(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunConcurrent(sys, ConcurrentOptions{Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Silent {
+			b.Fatal("no silence")
+		}
+	}
+}

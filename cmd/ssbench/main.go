@@ -1,0 +1,96 @@
+// Command ssbench regenerates the paper's experiment tables (E1-E15, see
+// DESIGN.md for the artifact index). Every table reports measured data
+// plus a PASS/FAIL verdict against the corresponding paper claim.
+//
+// Usage:
+//
+//	ssbench                      # run everything, text tables
+//	ssbench -run E3,E5           # selected experiments
+//	ssbench -markdown            # markdown output (EXPERIMENTS.md body)
+//	ssbench -quick -trials 2     # fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
+	var (
+		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		seed     = fs.Uint64("seed", 2009, "master seed")
+		trials   = fs.Int("trials", 5, "adversarial initial configurations per cell")
+		maxSteps = fs.Int("max-steps", 1_000_000, "per-run step budget")
+		quick    = fs.Bool("quick", false, "small graph suite")
+		markdown = fs.Bool("markdown", false, "emit markdown tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := experiment.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	cfg := experiment.Config{
+		Seed:     *seed,
+		Trials:   *trials,
+		MaxSteps: *maxSteps,
+		Quick:    *quick,
+	}
+
+	allPass := true
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, err := experiment.ByID(id)
+		if err != nil {
+			return err
+		}
+		res, err := runner(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		allPass = allPass && res.Pass
+		if *markdown {
+			fmt.Fprintf(out, "## %s — %s\n\n", res.ID, res.Title)
+			fmt.Fprintf(out, "*Paper artifact:* %s.\n\n*Claim:* %s.\n\n", res.PaperRef, res.Claim)
+			fmt.Fprintln(out, res.Table.Markdown())
+			fmt.Fprintf(out, "**Verdict: %s**", verdict(res.Pass))
+			if res.Notes != "" {
+				fmt.Fprintf(out, " — %s", res.Notes)
+			}
+			fmt.Fprint(out, "\n\n")
+		} else {
+			fmt.Fprintln(out, res.Table.String())
+			fmt.Fprintf(out, "paper: %s | claim: %s\nverdict: %s", res.PaperRef, res.Claim, verdict(res.Pass))
+			if res.Notes != "" {
+				fmt.Fprintf(out, " (%s)", res.Notes)
+			}
+			fmt.Fprint(out, "\n\n")
+		}
+	}
+	if !allPass {
+		return fmt.Errorf("some experiments FAILED their paper-claim checks")
+	}
+	return nil
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}

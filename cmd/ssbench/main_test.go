@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperimentText(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-run", "E9", "-quick", "-trials", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"E9:", "verdict: PASS", "Theorem 4"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-run", "E2", "-quick", "-trials", "1", "-markdown"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"## E2", "| graph |", "**Verdict: PASS**"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E9, E2", "-quick", "-trials", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E9:") || !strings.Contains(sb.String(), "E2:") {
+		t.Fatal("both experiments should appear")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E99"}, &sb); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVizColoring(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "coloring", "-graph", "cycle", "-n", "6"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "graph") || !strings.Contains(out, "fillcolor") {
+		t.Fatalf("DOT output malformed:\n%s", out)
+	}
+}
+
+func TestVizMIS(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "mis", "-graph", "path", "-n", "7"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "doublecircle") {
+		t.Fatal("no dominator rendered")
+	}
+}
+
+func TestVizMatching(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "matching", "-graph", "cycle", "-n", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "penwidth=3") {
+		t.Fatal("no matched edge rendered")
+	}
+}
+
+func TestVizOrientation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-orient", "-graph", "grid", "-n", "9"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "digraph") {
+		t.Fatal("orientation should render as digraph")
+	}
+}
+
+func TestVizErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "nope"},
+		{"-graph", "nope"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

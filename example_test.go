@@ -1,0 +1,94 @@
+package selfstab_test
+
+import (
+	"fmt"
+	"log"
+
+	selfstab "repro"
+)
+
+// Example runs Protocol MIS on a ring and reports the paper's headline
+// measures: the protocol stabilizes to a maximal independent set while
+// reading a single neighbor per step.
+func Example() {
+	net, err := selfstab.Generate("cycle", 9, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := selfstab.NewMIS(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := selfstab.Run(sys, selfstab.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stabilized:", res.Silent)
+	fmt.Println("legitimate:", res.LegitimateAtSilence)
+	fmt.Println("k-efficiency:", res.Report.KEfficiency)
+	// Output:
+	// stabilized: true
+	// legitimate: true
+	// k-efficiency: 1
+}
+
+// ExampleRun_stabilizedPhase measures the stabilized phase of Protocol
+// MATCHING: married processes keep probing only their partner.
+func ExampleRun_stabilizedPhase() {
+	net, err := selfstab.Generate("path", 8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := selfstab.NewMatching(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := selfstab.Run(sys, selfstab.Options{Seed: 2, SuffixRounds: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := 2 * ((net.Graph.M() + 2*net.Graph.MaxDegree() - 2) / (2*net.Graph.MaxDegree() - 1))
+	fmt.Println("matched processes >= Theorem 8 bound:",
+		res.Report.StableProcesses(1) >= bound)
+	// Output:
+	// matched processes >= Theorem 8 bound: true
+}
+
+// ExampleNewTransformed demonstrates the paper's Section 6 open
+// question: a full-read protocol mechanically becomes 1-efficient.
+func ExampleNewTransformed() {
+	net, err := selfstab.Generate("grid", 9, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := selfstab.NewBFSTree(net, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xform, err := selfstab.NewTransformed(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := selfstab.Run(xform, selfstab.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BFS tree correct:", res.LegitimateAtSilence)
+	fmt.Println("neighbors read per step:", res.Report.KEfficiency)
+	// Output:
+	// BFS tree correct: true
+	// neighbors read per step: 1
+}
+
+// ExampleRunExperiment regenerates one of the paper's experiment tables.
+func ExampleRunExperiment() {
+	res, err := selfstab.RunExperiment("E9", selfstab.ExperimentConfig{
+		Seed: 9, Trials: 1, Quick: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.PaperRef, "passes:", res.Pass)
+	// Output:
+	// Theorem 4 passes: true
+}

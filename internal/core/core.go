@@ -1,0 +1,142 @@
+// Package core implements the paper's primary contribution as runnable
+// machinery: the communication-efficiency measures of Section 3 applied
+// to executions of silent self-stabilizing protocols.
+//
+// A Run drives a system from an (adversarial) initial configuration under
+// a chosen scheduler until the configuration becomes communication-silent
+// (Definition 3), then optionally keeps executing for a suffix of rounds
+// during which the per-process read sets R_p are re-recorded. The
+// resulting RunResult exposes:
+//
+//   - whether and when silence was reached (steps and rounds, the paper's
+//     convergence bounds are stated in rounds);
+//   - the run's witnessed k-efficiency (Definition 4) and communication
+//     complexity in bits (Definition 5);
+//   - the suffix read sets, witnessing ♦-(x,k)-stability (Definition 9):
+//     StableProcesses(1) is the number of processes that communicated
+//     with at most one neighbor during the entire post-silence suffix.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// RunOptions configures a Run.
+type RunOptions struct {
+	// Scheduler drives the computation (required).
+	Scheduler model.Scheduler
+	// Seed determines all randomness of the run (protocol coin flips).
+	Seed uint64
+	// MaxSteps bounds the search for silence (required, > 0).
+	MaxSteps int
+	// CheckEvery is the silence-check period in steps (default 1: exact
+	// detection; larger values trade detection precision for speed).
+	CheckEvery int
+	// SuffixRounds, when > 0 and silence is reached, keeps the system
+	// running for that many further rounds while recording the suffix
+	// read sets used for stability measurements.
+	SuffixRounds int
+	// Legitimate, when non-nil, is evaluated on the silent configuration
+	// (protocol-specific legitimacy predicate).
+	Legitimate func(*model.System, *model.Config) bool
+}
+
+// RunResult reports one execution.
+type RunResult struct {
+	// Silent reports whether a communication-silent configuration was
+	// reached within MaxSteps.
+	Silent bool
+	// StepsToSilence and RoundsToSilence are measured at the first
+	// silence check that succeeded.
+	StepsToSilence  int
+	RoundsToSilence int
+	// LegitimateAtSilence holds the predicate value at silence (false if
+	// no predicate was supplied or silence was not reached).
+	LegitimateAtSilence bool
+	// Report carries the trace metrics. If SuffixRounds > 0 the suffix
+	// fields cover exactly the post-silence window.
+	Report trace.Report
+	// Final is the configuration at the end of the run.
+	Final *model.Config
+}
+
+// Run executes a system to silence and measures it. cfg0 is not mutated.
+func Run(sys *model.System, cfg0 *model.Config, opts RunOptions) (*RunResult, error) {
+	if opts.Scheduler == nil {
+		return nil, fmt.Errorf("core: RunOptions.Scheduler is required")
+	}
+	if opts.MaxSteps <= 0 {
+		return nil, fmt.Errorf("core: RunOptions.MaxSteps must be positive")
+	}
+	rec := trace.NewRecorder(sys.N())
+	sim, err := model.NewSimulator(sys, cfg0, opts.Scheduler, opts.Seed, rec)
+	if err != nil {
+		return nil, err
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	silent, err := sim.RunUntilSilent(opts.MaxSteps, checkEvery)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		Silent:          silent,
+		StepsToSilence:  sim.Steps(),
+		RoundsToSilence: sim.Rounds(),
+	}
+	if silent && opts.Legitimate != nil {
+		res.LegitimateAtSilence = opts.Legitimate(sys, sim.Config())
+	}
+	if silent && opts.SuffixRounds > 0 {
+		rec.MarkSuffix()
+		sim.RunRounds(opts.SuffixRounds)
+	}
+	res.Report = rec.Report()
+	res.Final = sim.Config()
+	return res, nil
+}
+
+// Convergence summarizes many runs of the same protocol family.
+type Convergence struct {
+	// Runs is the number of executions.
+	Runs int
+	// Converged is how many reached silence within budget.
+	Converged int
+	// LegitimateAll reports whether every silent run was legitimate.
+	LegitimateAll bool
+	// MaxRounds and MaxSteps are maxima over converged runs.
+	MaxRounds int
+	MaxSteps  int
+	// MaxKEfficiency is the largest witnessed k-efficiency.
+	MaxKEfficiency int
+}
+
+// Aggregate folds run results into a Convergence summary.
+func Aggregate(results []*RunResult) Convergence {
+	agg := Convergence{Runs: len(results), LegitimateAll: true}
+	for _, r := range results {
+		if !r.Silent {
+			agg.LegitimateAll = agg.LegitimateAll && false
+			continue
+		}
+		agg.Converged++
+		if !r.LegitimateAtSilence {
+			agg.LegitimateAll = false
+		}
+		if r.RoundsToSilence > agg.MaxRounds {
+			agg.MaxRounds = r.RoundsToSilence
+		}
+		if r.StepsToSilence > agg.MaxSteps {
+			agg.MaxSteps = r.StepsToSilence
+		}
+		if r.Report.KEfficiency > agg.MaxKEfficiency {
+			agg.MaxKEfficiency = r.Report.KEfficiency
+		}
+	}
+	return agg
+}

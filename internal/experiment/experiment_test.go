@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Seed: 42, Trials: 2, MaxSteps: 400000, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registry has %d experiments, want 15", len(ids))
+	}
+	for i, id := range ids {
+		want := "E" + itoa(i+1)
+		if id != want {
+			t.Fatalf("registry[%d] = %s, want %s", i, id, want)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return string(rune('0' + i))
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsPassQuick(t *testing.T) {
+	// The headline test of the reproduction: every experiment's measured
+	// data is consistent with the paper's claims, on the quick suite.
+	cfg := quickCfg()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %s != %s", res.ID, e.ID)
+			}
+			if !res.Pass {
+				t.Fatalf("%s (%s) FAILED:\n%s", res.ID, res.PaperRef, res.Table.String())
+			}
+			if res.Title == "" || res.PaperRef == "" || res.Claim == "" {
+				t.Fatalf("%s: missing metadata", res.ID)
+			}
+			if len(res.Table.Rows) == 0 {
+				t.Fatalf("%s: empty table", res.ID)
+			}
+			out := res.Table.String()
+			if !strings.Contains(out, e.ID+":") {
+				t.Fatalf("%s: table title does not carry the id:\n%s", res.ID, out)
+			}
+		})
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	q, err := suite(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := suite(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) >= len(full) {
+		t.Fatalf("quick suite (%d) not smaller than full (%d)", len(q), len(full))
+	}
+	for _, g := range full {
+		if !g.IsConnected() {
+			t.Fatalf("suite graph %s disconnected", g)
+		}
+	}
+}
+
+func TestProtocolSystemFamilies(t *testing.T) {
+	graphs, err := suite(Config{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range familyNames() {
+		sys, legit, err := protocolSystem(graphs[0], fam)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if sys == nil || legit == nil {
+			t.Fatalf("%s: nil system or predicate", fam)
+		}
+	}
+	if _, _, err := protocolSystem(graphs[0], "nope"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}

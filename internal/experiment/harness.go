@@ -1,0 +1,200 @@
+// Package experiment regenerates every quantitative artifact of the
+// paper: each theorem, lemma, proof construction and example figure is
+// an experiment (E1-E15, indexed in DESIGN.md) producing a table that
+// EXPERIMENTS.md records, together with a pass flag stating whether the
+// measured data is consistent with the paper's claim.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Trials is the number of adversarial initial configurations per
+	// cell (default 5).
+	Trials int
+	// MaxSteps is the per-run step budget (default 1_000_000).
+	MaxSteps int
+	// Quick shrinks the graph suite for benchmark iterations.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 5
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 1_000_000
+	}
+	return c
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier, e.g. "E3".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperRef names the reproduced artifact, e.g. "Theorem 5 / Lemma 4".
+	PaperRef string
+	// Claim states the expectation being checked.
+	Claim string
+	// Table carries the measured rows.
+	Table *stats.Table
+	// Pass reports whether every measured row is consistent with the
+	// claim.
+	Pass bool
+	// Notes carries substitutions or caveats.
+	Notes string
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (*Result, error)
+
+// Registry maps experiment ids to runners, in id order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"E1", E1ColoringConvergence},
+		{"E2", E2CommunicationBits},
+		{"E3", E3MISRounds},
+		{"E4", E4MISStability},
+		{"E5", E5MatchingRounds},
+		{"E6", E6MatchingStability},
+		{"E7", E7TheoremOne},
+		{"E8", E8TheoremTwo},
+		{"E9", E9DagOrientation},
+		{"E10", E10StabilizedOverhead},
+		{"E11", E11SchedulerRobustness},
+		{"E12", E12ConcurrentRuntime},
+		{"E13", E13Transformer},
+		{"E14", E14ScalingCurves},
+		{"E15", E15FaultContainment},
+	}
+}
+
+// ByID returns the runner for one experiment id.
+func ByID(id string) (Runner, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiment: unknown id %q", id)
+}
+
+// IDs lists all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// suite returns the benchmark graph suite. Quick mode keeps four small
+// graphs; the full suite spans the topology families of the paper's
+// setting (arbitrary connected networks) plus the paper's own figures.
+func suite(cfg Config) ([]*graph.Graph, error) {
+	r := rng.New(rng.DeriveString(cfg.Seed, "suite"))
+	if cfg.Quick {
+		return []*graph.Graph{
+			graph.Path(8),
+			graph.Cycle(9),
+			graph.Star(8),
+			graph.RandomConnectedGNP(12, 0.25, r),
+		}, nil
+	}
+	reg, err := graph.RandomRegular(16, 4, r)
+	if err != nil {
+		return nil, err
+	}
+	return []*graph.Graph{
+		graph.Path(12),
+		graph.Cycle(13),
+		graph.Complete(6),
+		graph.Star(10),
+		graph.Grid(4, 4),
+		graph.Torus(3, 4),
+		graph.Hypercube(3),
+		graph.BalancedBinaryTree(3),
+		graph.Caterpillar(5, 2),
+		graph.RandomConnectedGNP(16, 0.2, r),
+		reg,
+		graph.RandomGeometric(16, 0.35, r),
+		graph.Lollipop(5, 5),
+		graph.TheoremOneSpider(3),
+		graph.FigureNinePath(11),
+		graph.FigureElevenNetwork(),
+	}, nil
+}
+
+// protocolSystem builds a System for a named protocol family on g.
+// family is one of "coloring", "mis", "matching" with optional
+// "-baseline" suffix.
+func protocolSystem(g *graph.Graph, family string) (*model.System, func(*model.System, *model.Config) bool, error) {
+	b := builders[family]
+	if b == nil {
+		return nil, nil, fmt.Errorf("experiment: unknown protocol family %q", family)
+	}
+	return b(g)
+}
+
+// familyNames lists the registered protocol families, sorted.
+func familyNames() []string {
+	var names []string
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type builder func(*graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error)
+
+var builders = map[string]builder{}
+
+// runCell executes Trials adversarial runs of one protocol family on one
+// graph under one scheduler and aggregates.
+func runCell(cfg Config, g *graph.Graph, family string, mkSched func(uint64) model.Scheduler, suffixRounds int) ([]*core.RunResult, error) {
+	sys, legit, err := protocolSystem(g, family)
+	if err != nil {
+		return nil, err
+	}
+	var results []*core.RunResult
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := rng.Derive(cfg.Seed, uint64(trial)<<16+uint64(len(results)))
+		initial := model.NewRandomConfig(sys, rng.New(seed))
+		res, err := core.Run(sys, initial, core.RunOptions{
+			Scheduler:    mkSched(seed),
+			Seed:         seed,
+			MaxSteps:     cfg.MaxSteps,
+			CheckEvery:   1,
+			SuffixRounds: suffixRounds,
+			Legitimate:   legit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func defaultSched(seed uint64) model.Scheduler { return sched.NewRandomSubset(seed) }

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocols/matching"
+	"repro/internal/protocols/mis"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// E14ScalingCurves is the ablation series for the convergence theorems:
+// rounds-to-silence as a function of network size, per protocol, on
+// random connected graphs of constant expected degree. The measured
+// series must stay within the proved bounds (Δ × #C for MIS, (Δ+1)n+2
+// for MATCHING) at every size, and exposes the actual growth — far below
+// the worst case — that a practitioner would see.
+func E14ScalingCurves(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sizes := []int{8, 16, 32, 64}
+	if cfg.Quick {
+		sizes = []int{8, 16}
+	}
+	table := stats.NewTable("E14: convergence scaling (rounds vs n)",
+		"protocol", "n", "Δ", "mean rounds", "max rounds", "bound", "within")
+	pass := true
+	for _, family := range []string{FamColoring, FamMIS, FamMatching} {
+		for _, n := range sizes {
+			r := rng.New(rng.Derive(cfg.Seed, uint64(n)))
+			g := graph.RandomConnectedGNP(n, 4.0/float64(n), r)
+			sys, _, err := protocolSystem(g, family)
+			if err != nil {
+				return nil, err
+			}
+			bound, haveBound := 0, true
+			switch family {
+			case FamMIS:
+				bound = mis.RoundBound(sys)
+			case FamMatching:
+				bound = matching.RoundBound(sys)
+			default:
+				haveBound = false // COLORING's convergence is probabilistic
+			}
+			results, err := runCell(cfg, g, family, defaultSched, 0)
+			if err != nil {
+				return nil, err
+			}
+			agg := core.Aggregate(results)
+			var rounds []float64
+			for _, res := range results {
+				if res.Silent {
+					rounds = append(rounds, float64(res.RoundsToSilence))
+				}
+			}
+			within := agg.Converged == agg.Runs
+			boundCell := "—"
+			if haveBound {
+				within = within && agg.MaxRounds <= bound
+				boundCell = fmt.Sprintf("%d", bound)
+			}
+			pass = pass && within
+			table.AddRow(family, n, g.MaxDegree(),
+				stats.Summarize(rounds).Mean, agg.MaxRounds, boundCell, within)
+		}
+	}
+	return &Result{
+		ID:       "E14",
+		Title:    "rounds-to-silence vs network size",
+		PaperRef: "Lemmas 4 and 9 (ablation series)",
+		Claim:    "measured convergence stays within the proved bounds at every size and grows far slower than the worst case",
+		Table:    table,
+		Pass:     pass,
+		Notes:    "random connected graphs of constant expected degree (G(n, 4/n) plus spanning tree)",
+	}, nil
+}
+
+// E15FaultContainment quantifies the Section 1 motivation from the fault
+// side: starting from a legitimate silent configuration, corrupt k
+// processes uniformly and measure the rounds needed to re-stabilize.
+// Self-stabilization guarantees recovery from any k; the experiment
+// verifies recovery always succeeds and reports how the cost grows with
+// the fault size.
+func E15FaultContainment(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	graphs, err := suite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := graphs[len(graphs)/3]
+	faultFractions := []float64{0.1, 0.25, 0.5, 1.0}
+	table := stats.NewTable("E15: recovery rounds after k-process corruption",
+		"protocol", "graph", "faults", "recovered", "mean rounds", "max rounds")
+	pass := true
+	for _, family := range []string{FamColoring, FamMIS, FamMatching} {
+		sys, legit, err := protocolSystem(g, family)
+		if err != nil {
+			return nil, err
+		}
+		// Reach a legitimate silent configuration once.
+		base, err := runCell(cfg, g, family, defaultSched, 0)
+		if err != nil {
+			return nil, err
+		}
+		var silentCfg *model.Config
+		for _, r := range base {
+			if r.Silent && r.LegitimateAtSilence {
+				silentCfg = r.Final
+				break
+			}
+		}
+		if silentCfg == nil {
+			return nil, fmt.Errorf("experiment: %s produced no legitimate silent run", family)
+		}
+		for _, frac := range faultFractions {
+			k := int(frac * float64(g.N()))
+			if k < 1 {
+				k = 1
+			}
+			recovered := 0
+			var rounds []float64
+			maxRounds := 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := rng.Derive(cfg.Seed, uint64(trial)*31+uint64(k))
+				r := rng.New(seed)
+				corrupted := silentCfg.Clone()
+				perm := r.Perm(g.N())
+				for _, p := range perm[:k] {
+					for v := range corrupted.Comm[p] {
+						corrupted.Comm[p][v] = r.Intn(sys.CommDomain(p, v))
+					}
+					for v := range corrupted.Internal[p] {
+						corrupted.Internal[p][v] = r.Intn(sys.InternalDomain(p, v))
+					}
+				}
+				res, err := core.Run(sys, corrupted, core.RunOptions{
+					Scheduler:  defaultSched(seed),
+					Seed:       seed,
+					MaxSteps:   cfg.MaxSteps,
+					CheckEvery: 1,
+					Legitimate: legit,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Silent && res.LegitimateAtSilence {
+					recovered++
+					rounds = append(rounds, float64(res.RoundsToSilence))
+					if res.RoundsToSilence > maxRounds {
+						maxRounds = res.RoundsToSilence
+					}
+				}
+			}
+			ok := recovered == cfg.Trials
+			pass = pass && ok
+			table.AddRow(family, g.Name(), k,
+				fmt.Sprintf("%d/%d", recovered, cfg.Trials),
+				stats.Summarize(rounds).Mean, maxRounds)
+		}
+	}
+	return &Result{
+		ID:       "E15",
+		Title:    "fault containment: recovery cost vs corruption size",
+		PaperRef: "Section 1 (forward recovery from transient failures)",
+		Claim:    "every corruption of any size is recovered; recovery cost grows with the fault size",
+		Table:    table,
+		Pass:     pass,
+	}, nil
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/protocols/matching"
+	"repro/internal/protocols/mis"
+	"repro/internal/stats"
+)
+
+// E4MISStability reproduces Theorem 6 and Figure 9: after silence, at
+// least ⌊(Lmax+1)/2⌋ processes read only a single fixed neighbor, where
+// Lmax is the longest elementary path.
+func E4MISStability(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	graphs, err := suite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	table := stats.NewTable("E4: MIS ♦-(⌊(Lmax+1)/2⌋,1)-stability (Theorem 6, Figure 9)",
+		"graph", "n", "Lmax", "bound", "1-stable exact", "1-stable observed", "dominated", "ok")
+	pass := true
+	for _, g := range graphs {
+		lmax, err := g.LongestPathExact(24)
+		if err != nil {
+			// Too large for the exact solver: use the certified lower
+			// bound, which keeps the claim check sound (the theorem's
+			// bound grows with Lmax).
+			lmax = g.LongestPathLowerBound(200, cfg.Seed)
+		}
+		bound := mis.StabilityBound(lmax)
+		results, err := runCell(cfg, g, FamMIS, defaultSched, 6*g.N())
+		if err != nil {
+			return nil, err
+		}
+		sys, _, err := protocolSystem(g, FamMIS)
+		if err != nil {
+			return nil, err
+		}
+		minStable, minExact, dominated := g.N()+1, g.N()+1, -1
+		for _, r := range results {
+			if !r.Silent {
+				pass = false
+				continue
+			}
+			stable := r.Report.StableProcesses(1)
+			if stable < minStable {
+				minStable = stable
+			}
+			// Exact analysis: the eventual read set of every process is
+			// computed from its orbit in the silent configuration.
+			prof, err := model.AnalyzeStability(sys, r.Final)
+			if err != nil {
+				return nil, err
+			}
+			if prof.OneStable < minExact {
+				minExact = prof.OneStable
+			}
+			dominated = r.Report.N - mis.DominatorCount(r.Final)
+		}
+		// The observed (finite-suffix) count can only over-approximate
+		// the exact limit count; both must clear the paper bound.
+		ok := minExact >= bound && minStable >= minExact
+		pass = pass && ok
+		table.AddRow(g.Name(), g.N(), lmax, bound, minExact, minStable, dominated, ok)
+	}
+	return &Result{
+		ID:       "E4",
+		Title:    "MIS eventually-1-stable process count",
+		PaperRef: "Theorem 6, Figure 9",
+		Claim:    "post-silence, ≥ ⌊(Lmax+1)/2⌋ processes read at most one neighbor",
+		Table:    table,
+		Pass:     pass,
+		Notes:    "1-stability measured over a 6n-round post-silence suffix",
+	}, nil
+}
+
+// E6MatchingStability reproduces Theorem 8 and Figure 11: after silence,
+// at least 2⌈m/(2Δ-1)⌉ processes are matched and hence 1-stable.
+func E6MatchingStability(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	graphs, err := suite(cfg)
+	if err != nil {
+		return nil, err
+	}
+	table := stats.NewTable("E6: MATCHING ♦-(2⌈m/(2Δ-1)⌉,1)-stability (Theorem 8, Figure 11)",
+		"graph", "n", "m", "Δ", "bound", "married (min)", "1-stable exact", "1-stable observed", "ok")
+	pass := true
+	for _, g := range graphs {
+		bound := matching.StabilityBound(g.M(), g.MaxDegree())
+		results, err := runCell(cfg, g, FamMatching, defaultSched, 6*g.N())
+		if err != nil {
+			return nil, err
+		}
+		minMarried, minStable, minExact := g.N()+1, g.N()+1, g.N()+1
+		sys, _, err := protocolSystem(g, FamMatching)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			if !r.Silent {
+				pass = false
+				continue
+			}
+			married := countMarried(sys, r.Final)
+			if married < minMarried {
+				minMarried = married
+			}
+			stable := r.Report.StableProcesses(1)
+			if stable < minStable {
+				minStable = stable
+			}
+			prof, err := model.AnalyzeStability(sys, r.Final)
+			if err != nil {
+				return nil, err
+			}
+			if prof.OneStable < minExact {
+				minExact = prof.OneStable
+			}
+		}
+		ok := minMarried >= bound && minExact >= bound && minStable >= minExact
+		pass = pass && ok
+		table.AddRow(g.Name(), g.N(), g.M(), g.MaxDegree(), bound, minMarried, minExact, minStable, ok)
+	}
+	return &Result{
+		ID:       "E6",
+		Title:    "MATCHING eventually-matched process count",
+		PaperRef: "Theorem 8, Figure 11 (Biedl et al. bound)",
+		Claim:    "post-silence, ≥ 2⌈m/(2Δ-1)⌉ processes are married and 1-stable",
+		Table:    table,
+		Pass:     pass,
+		Notes:    fmt.Sprintf("Figure 11 network included: bound %d on Δ=4, m=14", matching.StabilityBound(14, 4)),
+	}, nil
+}
+
+func countMarried(sys *model.System, cfg *model.Config) int {
+	return matching.MarriedCount(sys, cfg)
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DotOptions customizes DOT rendering of a graph.
+type DotOptions struct {
+	// NodeAttrs returns extra DOT attributes for process p, e.g.
+	// `label="3", fillcolor="red"`. May be nil.
+	NodeAttrs func(p int) string
+	// EdgeAttrs returns extra DOT attributes for edge {u, v} (u < v).
+	// May be nil.
+	EdgeAttrs func(u, v int) string
+	// Directed renders edges with the given orientation. May be nil for
+	// an undirected drawing.
+	Directed *Orientation
+}
+
+// Dot renders the graph in Graphviz DOT format.
+func Dot(g *Graph, opts DotOptions) string {
+	var sb strings.Builder
+	kind, arrow := "graph", " -- "
+	if opts.Directed != nil {
+		kind, arrow = "digraph", " -> "
+	}
+	fmt.Fprintf(&sb, "%s %q {\n", kind, sanitizeID(g.Name()))
+	sb.WriteString("  node [shape=circle, style=filled, fillcolor=white];\n")
+	for p := 0; p < g.N(); p++ {
+		attrs := ""
+		if opts.NodeAttrs != nil {
+			attrs = opts.NodeAttrs(p)
+		}
+		if attrs != "" {
+			fmt.Fprintf(&sb, "  n%d [%s];\n", p, attrs)
+		} else {
+			fmt.Fprintf(&sb, "  n%d;\n", p)
+		}
+	}
+	if opts.Directed != nil {
+		type arc struct{ from, to int }
+		var arcs []arc
+		for p := 0; p < g.N(); p++ {
+			for _, q := range opts.Directed.Succ(p) {
+				arcs = append(arcs, arc{p, q})
+			}
+		}
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i].from != arcs[j].from {
+				return arcs[i].from < arcs[j].from
+			}
+			return arcs[i].to < arcs[j].to
+		})
+		for _, a := range arcs {
+			attrs := ""
+			if opts.EdgeAttrs != nil {
+				attrs = opts.EdgeAttrs(min(a.from, a.to), max(a.from, a.to))
+			}
+			writeEdge(&sb, a.from, a.to, arrow, attrs)
+		}
+	} else {
+		for _, e := range g.Edges() {
+			attrs := ""
+			if opts.EdgeAttrs != nil {
+				attrs = opts.EdgeAttrs(e[0], e[1])
+			}
+			writeEdge(&sb, e[0], e[1], arrow, attrs)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func writeEdge(sb *strings.Builder, u, v int, arrow, attrs string) {
+	if attrs != "" {
+		fmt.Fprintf(sb, "  n%d%sn%d [%s];\n", u, arrow, v, attrs)
+	} else {
+		fmt.Fprintf(sb, "  n%d%sn%d;\n", u, arrow, v)
+	}
+}
+
+func sanitizeID(s string) string {
+	if s == "" {
+		return "G"
+	}
+	return s
+}

@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotUndirected(t *testing.T) {
+	g := Path(3)
+	out := Dot(g, DotOptions{})
+	if !strings.HasPrefix(out, "graph") {
+		t.Fatalf("undirected DOT should start with graph: %q", out[:20])
+	}
+	for _, frag := range []string{"n0", "n1", "n2", "n0 -- n1", "n1 -- n2"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDotDirectedWithAttrs(t *testing.T) {
+	rd := TheoremTwoNetwork()
+	out := Dot(rd.Graph, DotOptions{
+		Directed: rd.Orientation,
+		NodeAttrs: func(p int) string {
+			if p == rd.Root {
+				return `penwidth=3`
+			}
+			return ""
+		},
+		EdgeAttrs: func(u, v int) string { return `color=gray` },
+	})
+	if !strings.HasPrefix(out, "digraph") {
+		t.Fatal("directed DOT should start with digraph")
+	}
+	if !strings.Contains(out, "->") {
+		t.Fatal("directed DOT lacks arrows")
+	}
+	if !strings.Contains(out, "penwidth=3") {
+		t.Fatal("node attrs not emitted")
+	}
+	if !strings.Contains(out, "color=gray") {
+		t.Fatal("edge attrs not emitted")
+	}
+	if strings.Count(out, "->") != rd.Graph.M() {
+		t.Fatalf("directed DOT has %d arcs, want %d", strings.Count(out, "->"), rd.Graph.M())
+	}
+}
+
+func TestDotEmptyName(t *testing.T) {
+	b := NewBuilder(1, "")
+	g := b.Build()
+	out := Dot(g, DotOptions{})
+	if !strings.Contains(out, `"G"`) {
+		t.Fatalf("empty name not defaulted: %s", out)
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		enc := EncodeString(g)
+		back, err := DecodeString(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("%s: size changed on round trip", g)
+		}
+		a, b := CanonicalEdgeList(g), CanonicalEdgeList(back)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: edge lists differ: %v vs %v", g, a, b)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	r := rng.New(41)
+	check := func(raw uint8) bool {
+		n := int(raw%20) + 2
+		g := RandomConnectedGNP(n, 0.3, r)
+		once, err := DecodeString(EncodeString(g))
+		if err != nil {
+			return false
+		}
+		// The edge set survives; port order is canonicalized to sorted
+		// edge order, so a second round trip is the identity.
+		a, b := CanonicalEdgeList(g), CanonicalEdgeList(once)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		twice, err := DecodeString(EncodeString(once))
+		if err != nil {
+			return false
+		}
+		return twice.Equal(once)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeComments(t *testing.T) {
+	g, err := DecodeString("# a triangle\ngraph tri\nn 3\ne 0 1\n\ne 1 2\n# done\ne 2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 || g.Name() != "tri" {
+		t.Fatalf("decoded: %s", g)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"no n":           "e 0 1\n",
+		"bad count":      "n -2\n",
+		"bad directive":  "n 3\nq 0 1\n",
+		"bad endpoints":  "n 3\ne x y\n",
+		"self loop":      "n 3\ne 1 1\n",
+		"duplicate edge": "n 3\ne 0 1\ne 1 0\n",
+		"out of range":   "n 3\ne 0 5\n",
+		"short e":        "n 3\ne 0\n",
+		"short graph":    "graph\n",
+		"short n":        "n\n",
+		"empty":          "",
+	}
+	for name, input := range cases {
+		if _, err := DecodeString(input); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestEncodeFormat(t *testing.T) {
+	g := Path(3)
+	enc := EncodeString(g)
+	want := "graph path-3\nn 3\ne 0 1\ne 1 2\n"
+	if enc != want {
+		t.Fatalf("encoding:\n%q\nwant:\n%q", enc, want)
+	}
+	if !strings.HasPrefix(enc, "graph ") {
+		t.Fatal("missing header")
+	}
+}

@@ -1,0 +1,435 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Path returns the path graph p0 - p1 - ... - p(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n, fmt.Sprintf("path-%d", n))
+	for i := 0; i+1 < n; i++ {
+		b.MustAddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n >= 3 processes.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle requires n >= 3")
+	}
+	b := NewBuilder(n, fmt.Sprintf("cycle-%d", n))
+	for i := 0; i < n; i++ {
+		b.MustAddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n, fmt.Sprintf("complete-%d", n))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.MustAddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1}: process 0 is the hub.
+func Star(n int) *Graph {
+	b := NewBuilder(n, fmt.Sprintf("star-%d", n))
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b}; processes 0..a-1 form one side.
+func CompleteBipartite(a, b int) *Graph {
+	bl := NewBuilder(a+b, fmt.Sprintf("bipartite-%d-%d", a, b))
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bl.MustAddEdge(i, a+j)
+		}
+	}
+	return bl.Build()
+}
+
+// Grid returns the w x h grid graph; process (x, y) has id y*w + x.
+func Grid(w, h int) *Graph {
+	b := NewBuilder(w*h, fmt.Sprintf("grid-%dx%d", w, h))
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.MustAddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.MustAddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the w x h torus (grid with wraparound); w, h >= 3.
+func Torus(w, h int) *Graph {
+	if w < 3 || h < 3 {
+		panic("graph: Torus requires w, h >= 3")
+	}
+	b := NewBuilder(w*h, fmt.Sprintf("torus-%dx%d", w, h))
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.MustAddEdge(id(x, y), id((x+1)%w, y))
+			b.MustAddEdge(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d processes.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	b := NewBuilder(n, fmt.Sprintf("hypercube-%d", d))
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if v < u {
+				b.MustAddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BalancedBinaryTree returns a complete binary tree of the given depth
+// (depth 0 is a single process).
+func BalancedBinaryTree(depth int) *Graph {
+	n := (1 << (depth + 1)) - 1
+	b := NewBuilder(n, fmt.Sprintf("bintree-%d", depth))
+	for v := 1; v < n; v++ {
+		b.MustAddEdge(v, (v-1)/2)
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of `spine`
+// processes, each carrying `legs` pendant processes.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine * (1 + legs)
+	b := NewBuilder(n, fmt.Sprintf("caterpillar-%dx%d", spine, legs))
+	for i := 0; i+1 < spine; i++ {
+		b.MustAddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.MustAddEdge(i, next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform random labelled tree on n processes using
+// a random Prüfer sequence.
+func RandomTree(n int, r *rng.Rand) *Graph {
+	b := NewBuilder(n, fmt.Sprintf("rtree-%d", n))
+	if n <= 1 {
+		return b.Build()
+	}
+	if n == 2 {
+		b.MustAddEdge(0, 1)
+		return b.Build()
+	}
+	prufer := make([]int, n-2)
+	for i := range prufer {
+		prufer[i] = r.Intn(n)
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range prufer {
+		degree[v]++
+	}
+	// Standard Prüfer decoding with a sorted leaf set.
+	used := make([]bool, n)
+	for _, v := range prufer {
+		leaf := -1
+		for u := 0; u < n; u++ {
+			if degree[u] == 1 && !used[u] {
+				leaf = u
+				break
+			}
+		}
+		b.MustAddEdge(leaf, v)
+		used[leaf] = true
+		degree[v]--
+	}
+	var last []int
+	for u := 0; u < n; u++ {
+		if !used[u] && degree[u] == 1 {
+			last = append(last, u)
+		}
+	}
+	b.MustAddEdge(last[0], last[1])
+	return b.Build()
+}
+
+// RandomConnectedGNP returns a connected Erdős–Rényi-style random graph:
+// a uniform random spanning tree plus each remaining pair independently
+// with probability p.
+func RandomConnectedGNP(n int, p float64, r *rng.Rand) *Graph {
+	b := NewBuilder(n, fmt.Sprintf("gnp-%d-%.3f", n, p))
+	// Random spanning tree by random attachment to ensure connectivity.
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(perm[i], perm[r.Intn(i)])
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !b.HasEdge(u, v) && r.Float64() < p {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular connected graph on n processes
+// via the pairing (configuration) model with rejection. n*d must be even
+// and d < n. It retries until a simple connected pairing is found.
+func RandomRegular(n, d int, r *rng.Rand) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular: n*d must be even (n=%d d=%d)", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular: need d < n (n=%d d=%d)", n, d)
+	}
+	if d == 0 {
+		return nil, fmt.Errorf("graph: RandomRegular: need d >= 1")
+	}
+	const maxAttempts = 5000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, v)
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		b := NewBuilder(n, fmt.Sprintf("regular-%d-%d", n, d))
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || b.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			b.MustAddEdge(u, v)
+		}
+		if !ok {
+			continue
+		}
+		g := b.Build()
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: RandomRegular: no simple connected pairing after %d attempts", maxAttempts)
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in
+// the unit square, edges between pairs closer than radius. If the result
+// is disconnected, closest pairs across components are linked so the
+// graph is always connected (documented substitution: sensor networks are
+// deployed to be connected).
+func RandomGeometric(n int, radius float64, r *rng.Rand) *Graph {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{r.Float64(), r.Float64()}
+	}
+	dist := func(a, b pt) float64 {
+		dx, dy := a.x-b.x, a.y-b.y
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	b := NewBuilder(n, fmt.Sprintf("rgg-%d-%.2f", n, radius))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist(pts[i], pts[j]) <= radius {
+				b.MustAddEdge(i, j)
+			}
+		}
+	}
+	// Connect components by repeatedly linking the globally closest
+	// cross-component pair.
+	for {
+		comp := components(b)
+		numComp := 0
+		for _, c := range comp {
+			if c+1 > numComp {
+				numComp = c + 1
+			}
+		}
+		if numComp <= 1 {
+			break
+		}
+		bestI, bestJ, bestD := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if comp[i] != comp[j] {
+					if d := dist(pts[i], pts[j]); d < bestD {
+						bestI, bestJ, bestD = i, j, d
+					}
+				}
+			}
+		}
+		b.MustAddEdge(bestI, bestJ)
+	}
+	return b.Build()
+}
+
+// components labels builder vertices by connected component.
+func components(b *Builder) []int {
+	adj := make([][]int, b.n)
+	for _, e := range b.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	comp := make([]int, b.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for s := 0; s < b.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack := []int{s}
+		comp[s] = c
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range adj[v] {
+				if comp[u] == -1 {
+					comp[u] = c
+					stack = append(stack, u)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+// Lollipop returns a clique of size k attached to a path of length tail.
+// A classic worst case for scan-based protocols.
+func Lollipop(k, tail int) *Graph {
+	n := k + tail
+	b := NewBuilder(n, fmt.Sprintf("lollipop-%d-%d", k, tail))
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.MustAddEdge(i, j)
+		}
+	}
+	for i := 0; i < tail; i++ {
+		if i == 0 {
+			b.MustAddEdge(k-1, k)
+		} else {
+			b.MustAddEdge(k+i-1, k+i)
+		}
+	}
+	return b.Build()
+}
+
+// Named looks up a generator by name, for CLI use. Supported names are
+// listed by NamedGenerators.
+func Named(name string, n int, seed uint64) (*Graph, error) {
+	r := rng.New(seed)
+	switch name {
+	case "path":
+		return Path(n), nil
+	case "cycle":
+		return Cycle(max(n, 3)), nil
+	case "complete":
+		return Complete(n), nil
+	case "star":
+		return Star(n), nil
+	case "grid":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 2 {
+			side = 2
+		}
+		return Grid(side, side), nil
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 3 {
+			side = 3
+		}
+		return Torus(side, side), nil
+	case "hypercube":
+		d := 1
+		for (1 << (d + 1)) <= n {
+			d++
+		}
+		return Hypercube(d), nil
+	case "tree":
+		return RandomTree(n, r), nil
+	case "bintree":
+		d := 0
+		for (1<<(d+2))-1 <= n {
+			d++
+		}
+		return BalancedBinaryTree(d), nil
+	case "caterpillar":
+		spine := max(n/3, 1)
+		return Caterpillar(spine, 2), nil
+	case "gnp":
+		return RandomConnectedGNP(n, 4.0/float64(max(n, 2)), r), nil
+	case "regular":
+		d := 4
+		if d >= n {
+			d = max(n-1, 1)
+		}
+		if n*d%2 != 0 {
+			d--
+		}
+		if d < 1 {
+			return nil, fmt.Errorf("graph: cannot build regular graph on n=%d", n)
+		}
+		return RandomRegular(n, d, r)
+	case "rgg":
+		radius := math.Sqrt(3.0 / float64(max(n, 2)))
+		return RandomGeometric(n, radius, r), nil
+	case "lollipop":
+		k := max(n/2, 3)
+		return Lollipop(k, n-k), nil
+	case "spider":
+		return TheoremOneSpider(4), nil
+	case "theorem2":
+		return TheoremTwoNetwork().Graph, nil
+	case "figure11":
+		return FigureElevenNetwork(), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown generator %q (known: %v)", name, NamedGenerators())
+	}
+}
+
+// NamedGenerators returns the generator names accepted by Named, sorted.
+func NamedGenerators() []string {
+	names := []string{
+		"path", "cycle", "complete", "star", "grid", "torus", "hypercube",
+		"tree", "bintree", "caterpillar", "gnp", "regular", "rgg",
+		"lollipop", "spider", "theorem2", "figure11",
+	}
+	sort.Strings(names)
+	return names
+}

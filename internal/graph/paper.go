@@ -1,0 +1,167 @@
+package graph
+
+import "fmt"
+
+// This file builds the specific networks appearing in the paper's proofs
+// and examples (Figures 1-6, 9 and 11).
+
+// TheoremOneChain returns the anonymous 5-process chain p1-p2-p3-p4-p5
+// used in the proof of Theorem 1 for Δ=2 (Figure 1). Process ids are
+// 0-based: paper process p_i is id i-1.
+func TheoremOneChain() *Graph {
+	g := Path(5)
+	return &Graph{name: "thm1-chain", adj: g.adj, back: g.back, m: g.m}
+}
+
+// TheoremOneStitched returns the 7-process chain p'1..p'7 onto which two
+// silent executions of the 5-chain are stitched in Theorem 1's proof
+// (Figure 1 (c)).
+func TheoremOneStitched() *Graph {
+	g := Path(7)
+	return &Graph{name: "thm1-stitched", adj: g.adj, back: g.back, m: g.m}
+}
+
+// TheoremOneSpider returns the generalization of the Theorem 1
+// construction for arbitrary Δ >= 2 (Figure 2): a Δ²+1-node graph with a
+// center of degree Δ linked to Δ middle nodes of degree Δ, each middle
+// node carrying Δ-1 pendant leaves. Process 0 is the center; middle nodes
+// are 1..Δ; leaves follow.
+func TheoremOneSpider(delta int) *Graph {
+	if delta < 2 {
+		panic("graph: TheoremOneSpider requires Δ >= 2")
+	}
+	n := delta*delta + 1
+	b := NewBuilder(n, fmt.Sprintf("thm1-spider-%d", delta))
+	next := delta + 1
+	for mid := 1; mid <= delta; mid++ {
+		b.MustAddEdge(0, mid)
+		for leaf := 0; leaf < delta-1; leaf++ {
+			b.MustAddEdge(mid, next)
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// RootedDag is a rooted, dag-oriented network, the setting of Theorem 2.
+type RootedDag struct {
+	Graph       *Graph
+	Orientation *Orientation
+	Root        int
+}
+
+// TheoremTwoNetwork returns the 6-process rooted dag-oriented network of
+// Figure 3 (Δ=2). Reconstruction from the proof text:
+//
+//   - the network is a 6-cycle p1-p2-p5-p4-p6-p3-p1 (paper p_i is id i-1);
+//   - Γ(p2) = {p1, p5} as used in the proof;
+//   - p1 and p4 are sources, p5 and p6 are sinks (stated for the Δ=3
+//     generalization, and required so that p6 "cannot use the orientation
+//     to take its decision because the orientation is the same of each of
+//     its two neighbors");
+//   - the root is p1 (bold circle in Figure 3).
+//
+// Orientation: p1→p2, p2→p5, p4→p5, p4→p6, p3→p6, p1→p3.
+func TheoremTwoNetwork() *RootedDag {
+	b := NewBuilder(6, "thm2-net")
+	// ids:      p1=0 p2=1 p3=2 p4=3 p5=4 p6=5
+	b.MustAddEdge(0, 1) // p1-p2
+	b.MustAddEdge(1, 4) // p2-p5
+	b.MustAddEdge(3, 4) // p4-p5
+	b.MustAddEdge(3, 5) // p4-p6
+	b.MustAddEdge(2, 5) // p3-p6
+	b.MustAddEdge(0, 2) // p1-p3
+	g := b.Build()
+	succ := [][]int{
+		0: {1, 2}, // p1 → p2, p3 (source, root)
+		1: {4},    // p2 → p5
+		2: {5},    // p3 → p6
+		3: {4, 5}, // p4 → p5, p6 (source)
+		4: {},     // p5 sink
+		5: {},     // p6 sink
+	}
+	o, err := NewOrientation(g, succ)
+	if err != nil {
+		panic(err)
+	}
+	return &RootedDag{Graph: g, Orientation: o, Root: 0}
+}
+
+// TheoremTwoGeneralized returns the Δ >= 2 generalization of the Theorem 2
+// network (Figure 6): Δ-2 pendant nodes are attached to each of the six
+// core processes, with pendant edges oriented so that p1 and p4 remain
+// sources and p5 and p6 remain sinks.
+func TheoremTwoGeneralized(delta int) *RootedDag {
+	if delta < 2 {
+		panic("graph: TheoremTwoGeneralized requires Δ >= 2")
+	}
+	base := TheoremTwoNetwork()
+	n := 6 + 6*(delta-2)
+	b := NewBuilder(n, fmt.Sprintf("thm2-net-%d", delta))
+	for _, e := range base.Graph.Edges() {
+		b.MustAddEdge(e[0], e[1])
+	}
+	succ := make([][]int, n)
+	for p := 0; p < 6; p++ {
+		succ[p] = base.Orientation.Succ(p)
+	}
+	next := 6
+	for core := 0; core < 6; core++ {
+		for k := 0; k < delta-2; k++ {
+			b.MustAddEdge(core, next)
+			switch core {
+			case 0, 3: // p1, p4 stay sources: pendant edges point away.
+				succ[core] = append(succ[core], next)
+			default: // everyone else: pendants point into the core node,
+				// keeping p5 and p6 sinks.
+				succ[next] = append(succ[next], core)
+			}
+			next++
+		}
+	}
+	g := b.Build()
+	o, err := NewOrientation(g, succ)
+	if err != nil {
+		panic(err)
+	}
+	return &RootedDag{Graph: g, Orientation: o, Root: 0}
+}
+
+// FigureNinePath returns the path network of Figure 9: the example
+// matching the ♦-(⌊(Lmax+1)/2⌋, 1)-stability lower bound of Theorem 6.
+// On a path of n processes, Lmax = n-1 and at least ⌊n/2⌋ processes are
+// eventually dominated (hence 1-stable).
+func FigureNinePath(n int) *Graph {
+	g := Path(n)
+	return &Graph{name: fmt.Sprintf("fig9-path-%d", n), adj: g.adj, back: g.back, m: g.m}
+}
+
+// FigureElevenNetwork returns the network of Figure 11: Δ = 4, m = 14,
+// admitting a maximal matching of exactly ⌈m/(2Δ-1)⌉ = 2 edges, matching
+// Theorem 8's lower bound of 2⌈m/(2Δ-1)⌉ = 4 eventually-matched
+// processes.
+//
+// Construction: two matched pairs (a1,b1)=(0,1) and (a2,b2)=(2,3), each
+// endpoint of degree 4; 14 edges total; pendant processes 4..12 are only
+// adjacent to matched endpoints, and shared pendants 7 and 9 make the
+// network connected.
+func FigureElevenNetwork() *Graph {
+	b := NewBuilder(13, "fig11")
+	a1, b1, a2, b2 := 0, 1, 2, 3
+	b.MustAddEdge(a1, b1)
+	b.MustAddEdge(a2, b2)
+	// a1: pendants 4,5,6 ; b1: 6(shared-with-a1? no: shared with nothing), ...
+	b.MustAddEdge(a1, 4)
+	b.MustAddEdge(a1, 5)
+	b.MustAddEdge(a1, 6)
+	b.MustAddEdge(b1, 6) // pendant 6 shared by a1 and b1
+	b.MustAddEdge(b1, 7)
+	b.MustAddEdge(b1, 8)
+	b.MustAddEdge(a2, 8) // pendant 8 shared by b1 and a2: connects the halves
+	b.MustAddEdge(a2, 9)
+	b.MustAddEdge(a2, 10)
+	b.MustAddEdge(b2, 10) // pendant 10 shared by a2 and b2
+	b.MustAddEdge(b2, 11)
+	b.MustAddEdge(b2, 12)
+	return b.Build()
+}

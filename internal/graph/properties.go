@@ -1,0 +1,241 @@
+package graph
+
+import "fmt"
+
+// BFS returns the distance (in hops) from src to every process, with -1
+// for unreachable processes.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range g.adj[p] {
+			if dist[q] == -1 {
+				dist[q] = dist[p] + 1
+				queue = append(queue, q)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether the graph is connected (the paper's model
+// assumes connected topologies). The empty graph is connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns a component label per process.
+func (g *Graph) ConnectedComponents() []int {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack := []int{s}
+		comp[s] = c
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.adj[v] {
+				if comp[u] == -1 {
+					comp[u] = c
+					stack = append(stack, u)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+// Diameter returns D, the maximum over all pairs of the hop distance.
+// It returns an error for disconnected graphs.
+func (g *Graph) Diameter() (int, error) {
+	d := 0
+	for p := 0; p < g.N(); p++ {
+		for _, dd := range g.BFS(p) {
+			if dd == -1 {
+				return 0, fmt.Errorf("graph: diameter of disconnected graph")
+			}
+			if dd > d {
+				d = dd
+			}
+		}
+	}
+	return d, nil
+}
+
+// IsTree reports whether the graph is connected and has n-1 edges.
+func (g *Graph) IsTree() bool {
+	return g.N() > 0 && g.m == g.N()-1 && g.IsConnected()
+}
+
+// IsBipartite reports whether the graph is 2-colorable.
+func (g *Graph) IsBipartite() bool {
+	color := make([]int, g.N())
+	for i := range color {
+		color[i] = -1
+	}
+	for s := 0; s < g.N(); s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, q := range g.adj[p] {
+				if color[q] == -1 {
+					color[q] = 1 - color[p]
+					queue = append(queue, q)
+				} else if color[q] == color[p] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// LongestPathExact returns Lmax, the number of edges of the longest
+// elementary (simple) path, computed by exhaustive DFS. The problem is
+// NP-hard; callers must keep n small (the harness uses it for n <= 24).
+// maxNodes guards against accidental blowup: if g.N() > maxNodes an
+// error is returned.
+func (g *Graph) LongestPathExact(maxNodes int) (int, error) {
+	if g.N() > maxNodes {
+		return 0, fmt.Errorf("graph: LongestPathExact: n=%d exceeds limit %d", g.N(), maxNodes)
+	}
+	if g.IsTree() {
+		return g.treeLongestPath(), nil
+	}
+	best := 0
+	visited := make([]bool, g.N())
+	var dfs func(p, length int)
+	dfs = func(p, length int) {
+		if length > best {
+			best = length
+		}
+		visited[p] = true
+		for _, q := range g.adj[p] {
+			if !visited[q] {
+				dfs(q, length+1)
+			}
+		}
+		visited[p] = false
+	}
+	for s := 0; s < g.N(); s++ {
+		dfs(s, 0)
+	}
+	return best, nil
+}
+
+// treeLongestPath computes the tree diameter (= longest path) by double
+// BFS, exact for trees in linear time.
+func (g *Graph) treeLongestPath() int {
+	if g.N() == 0 {
+		return 0
+	}
+	far := func(src int) (int, int) {
+		dist := g.BFS(src)
+		bi, bd := src, 0
+		for i, d := range dist {
+			if d > bd {
+				bi, bd = i, d
+			}
+		}
+		return bi, bd
+	}
+	a, _ := far(0)
+	_, d := far(a)
+	return d
+}
+
+// LongestPathLowerBound returns a lower bound on Lmax via repeated
+// randomized DFS-greedy walks plus the double-BFS bound. Used for graphs
+// too large for LongestPathExact.
+func (g *Graph) LongestPathLowerBound(trials int, seed uint64) int {
+	best := g.treeLowerBoundDoubleBFS()
+	state := seed
+	next := func(n int) int {
+		// xorshift-ish local stream; deterministic in seed.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	visited := make([]bool, g.N())
+	for t := 0; t < trials; t++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		p := next(g.N())
+		length := 0
+		visited[p] = true
+		for {
+			var cands []int
+			for _, q := range g.adj[p] {
+				if !visited[q] {
+					cands = append(cands, q)
+				}
+			}
+			if len(cands) == 0 {
+				break
+			}
+			p = cands[next(len(cands))]
+			visited[p] = true
+			length++
+		}
+		if length > best {
+			best = length
+		}
+	}
+	return best
+}
+
+func (g *Graph) treeLowerBoundDoubleBFS() int {
+	if g.N() == 0 {
+		return 0
+	}
+	far := func(src int) (int, int) {
+		dist := g.BFS(src)
+		bi, bd := src, 0
+		for i, d := range dist {
+			if d > bd {
+				bi, bd = i, d
+			}
+		}
+		return bi, bd
+	}
+	a, _ := far(0)
+	_, d := far(a)
+	return d
+}
+
+// DegreeHistogram returns counts[d] = number of processes of degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for p := 0; p < g.N(); p++ {
+		counts[g.Degree(p)]++
+	}
+	return counts
+}

@@ -1,0 +1,160 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Observer receives execution events from the engine. All methods may be
+// called frequently; implementations should be cheap. A nil Observer is
+// always allowed.
+type Observer interface {
+	// StepBegin fires before the selected processes execute.
+	StepBegin(step int, selected []int)
+	// Read fires every time process p reads variable v (of the given
+	// kind) of neighbor q; bits is the width of the value read.
+	Read(step, p, q int, kind VarKind, v, bits int)
+	// ActionFired fires when p executes action index a (-1 for a
+	// selected-but-disabled process).
+	ActionFired(step, p, a int)
+	// CommWrite fires when p's communication variable v changes from old
+	// to new (only for actual value changes).
+	CommWrite(step, p, v, old, new int)
+	// StepEnd fires after all writes of the step are committed;
+	// roundCompleted reports whether this step completed a round.
+	StepEnd(step int, selected []int, roundCompleted bool)
+}
+
+// Ctx is the window through which a process's guarded actions see the
+// system: its own variables (read/write) and its neighbors'
+// communication state (read-only, instrumented).
+//
+// Ports are 1-based local indices 1..δ.p, exactly the paper's labelling.
+type Ctx struct {
+	sys *System
+	pre *Config // pre-step configuration: neighbor reads resolve here
+	p   int
+
+	comm     []int // scratch copy of own communication variables
+	internal []int // scratch copy of own internal variables
+
+	rand        *rng.Rand
+	randAllowed bool
+
+	obs  Observer
+	step int
+
+	// Cached-view redirection (see BeginCachedView): when set, neighbor
+	// reads resolve to the process's own internal cache variables
+	// instead of the network, and are not recorded as communication.
+	cacheIndex func(port int, kind VarKind, v int) int
+}
+
+// P returns the executing process id (for diagnostics; protocols must
+// not use it to break anonymity).
+func (c *Ctx) P() int { return c.p }
+
+// Deg returns δ.p.
+func (c *Ctx) Deg() int { return c.sys.g.Degree(c.p) }
+
+// Delta returns Δ, the maximum degree of the network (used for palette
+// sizes, e.g. the Δ+1 colors of Protocol COLORING).
+func (c *Ctx) Delta() int { return c.sys.delta }
+
+// N returns the network size.
+func (c *Ctx) N() int { return c.sys.N() }
+
+// Comm returns the process's own communication variable v.
+func (c *Ctx) Comm(v int) int { return c.comm[v] }
+
+// SetComm assigns the process's own communication variable v.
+func (c *Ctx) SetComm(v, val int) {
+	if val < 0 || val >= c.sys.commDomains[c.p][v] {
+		panic(fmt.Sprintf("model: %s: comm %s=%d outside [0,%d) at process %d",
+			c.sys.spec.Name, c.sys.spec.Comm[v].Name, val, c.sys.commDomains[c.p][v], c.p))
+	}
+	c.comm[v] = val
+}
+
+// Internal returns the process's own internal variable v.
+func (c *Ctx) Internal(v int) int { return c.internal[v] }
+
+// SetInternal assigns the process's own internal variable v.
+func (c *Ctx) SetInternal(v, val int) {
+	if val < 0 || val >= c.sys.internalDomains[c.p][v] {
+		panic(fmt.Sprintf("model: %s: internal %s=%d outside [0,%d) at process %d",
+			c.sys.spec.Name, c.sys.spec.Internal[v].Name, val, c.sys.internalDomains[c.p][v], c.p))
+	}
+	c.internal[v] = val
+}
+
+// Const returns the process's own communication constant v.
+func (c *Ctx) Const(v int) int { return c.sys.consts[c.p][v] }
+
+// NeighborComm reads communication variable v of the neighbor behind
+// port (1..δ.p). The read is instrumented: it counts toward the step's
+// read set, the raw material of Definitions 4-9.
+func (c *Ctx) NeighborComm(port, v int) int {
+	if c.cacheIndex != nil {
+		return c.internal[c.cacheIndex(port, KindComm, v)]
+	}
+	q := c.sys.g.Neighbor(c.p, port)
+	if c.obs != nil {
+		c.obs.Read(c.step, c.p, q, KindComm, v, BitsFor(c.sys.commDomains[q][v]))
+	}
+	return c.pre.Comm[q][v]
+}
+
+// NeighborConst reads communication constant v of the neighbor behind
+// port. Constants are communication state too: reading one is a
+// communication and is instrumented.
+func (c *Ctx) NeighborConst(port, v int) int {
+	if c.cacheIndex != nil {
+		return c.internal[c.cacheIndex(port, KindConst, v)]
+	}
+	q := c.sys.g.Neighbor(c.p, port)
+	if c.obs != nil {
+		c.obs.Read(c.step, c.p, q, KindConst, v, BitsFor(c.sys.constDomains[q][v]))
+	}
+	return c.sys.consts[q][v]
+}
+
+// BeginCachedView redirects subsequent NeighborComm/NeighborConst calls
+// to the process's own internal variables: index(port, kind, v) must
+// return the internal-variable index holding the cached copy of the
+// neighbor's variable. Cached reads are local and are not recorded as
+// communication. Used by the local-checking transformer
+// (internal/transformer) that realizes the generalization discussed in
+// the paper's concluding remarks.
+func (c *Ctx) BeginCachedView(index func(port int, kind VarKind, v int) int) {
+	c.cacheIndex = index
+}
+
+// EndCachedView restores direct (instrumented) neighbor reads.
+func (c *Ctx) EndCachedView() {
+	c.cacheIndex = nil
+}
+
+// BackPort returns the port under which this process appears in the
+// local labelling of the neighbor behind port. This is structural
+// knowledge of the bidirectional link (needed, e.g., to evaluate
+// "PR.(cur.p) = p" in Protocol MATCHING).
+func (c *Ctx) BackPort(port int) int {
+	return c.sys.g.BackPort(c.p, port)
+}
+
+// NeighborDeg returns δ.q of the neighbor behind port (degrees are
+// structural, not communicated).
+func (c *Ctx) NeighborDeg(port int) int {
+	return c.sys.g.Degree(c.sys.g.Neighbor(c.p, port))
+}
+
+// Rand returns a uniform value in [0, n). Only Apply bodies may draw
+// randomness; guards must be deterministic predicates.
+func (c *Ctx) Rand(n int) int {
+	if !c.randAllowed || c.rand == nil {
+		panic("model: randomness is only available inside Apply")
+	}
+	return c.rand.Intn(n)
+}

@@ -1,0 +1,149 @@
+// Package model implements the computational model of the paper
+// (Section 2): a distributed system is a set of communicating state
+// machines over a connected graph; each process owns communication
+// variables (readable by neighbors), communication constants, and
+// internal variables; a protocol is a prioritized list of guarded
+// actions; a computation is driven by a scheduler selecting a non-empty
+// subset of processes per step, each selected process atomically
+// evaluating its guards against the pre-step configuration and executing
+// its first enabled action.
+//
+// Every access a process makes to a neighbor's communication state goes
+// through the Ctx API and is recorded, which is what lets the trace layer
+// measure the paper's communication-efficiency notions (k-efficiency,
+// Definitions 4-9) directly rather than by static inspection.
+package model
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DomainInfo carries the structural parameters a variable domain may
+// depend on.
+type DomainInfo struct {
+	// N is the number of processes in the system.
+	N int
+	// Delta is the maximum degree Δ of the graph.
+	Delta int
+	// Degree is δ.p, the degree of the owning process.
+	Degree int
+}
+
+// VarSpec declares one variable of a protocol. Values range over
+// 0..Domain(info)-1.
+type VarSpec struct {
+	// Name is the paper-facing variable name, e.g. "C", "S", "PR", "cur".
+	Name string
+	// Domain returns the domain size for a process with the given
+	// structural parameters. Must be >= 1.
+	Domain func(info DomainInfo) int
+}
+
+// FixedDomain returns a Domain function for a degree-independent domain.
+func FixedDomain(size int) func(DomainInfo) int {
+	return func(DomainInfo) int { return size }
+}
+
+// Action is one guarded action <guard> -> <statement>. Priority is the
+// position in Spec.Actions: earlier actions have higher priority
+// (Section 2: "Actions appearing first have higher priority").
+type Action struct {
+	// Name labels the action in traces.
+	Name string
+	// Guard is a Boolean predicate over the process's own variables and
+	// its neighbors' communication variables (read through Ctx). It must
+	// not write.
+	Guard func(c *Ctx) bool
+	// Apply executes the action's statement. It may only write the
+	// process's own variables and may draw randomness via Ctx.Rand.
+	Apply func(c *Ctx)
+	// Randomized marks actions whose Apply draws randomness into a
+	// communication variable. The silence checker treats any enabled
+	// Randomized action as breaking silence, so protocols must only mark
+	// actions that really can change communication state.
+	Randomized bool
+}
+
+// Spec is a protocol: variable declarations plus a prioritized action
+// list. A Spec is shared by all processes (local algorithms are uniform;
+// anonymity or local identifiers are expressed through constants).
+type Spec struct {
+	// Name is the protocol name, e.g. "COLORING".
+	Name string
+	// Comm declares the communication variables (owner read/write,
+	// neighbors read).
+	Comm []VarSpec
+	// Const declares the communication constants (fixed per system,
+	// neighbors read). Example: the color C.p of Protocols MIS and
+	// MATCHING.
+	Const []VarSpec
+	// Internal declares the internal variables (owner only).
+	Internal []VarSpec
+	// Actions is the prioritized guarded-action list.
+	Actions []Action
+}
+
+// Validate checks structural sanity of the spec.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("model: spec has empty name")
+	}
+	if len(s.Actions) == 0 {
+		return fmt.Errorf("model: spec %q has no actions", s.Name)
+	}
+	for i, a := range s.Actions {
+		if a.Guard == nil || a.Apply == nil {
+			return fmt.Errorf("model: spec %q action %d (%s) missing guard or apply", s.Name, i, a.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, group := range [][]VarSpec{s.Comm, s.Const, s.Internal} {
+		for _, v := range group {
+			if v.Name == "" {
+				return fmt.Errorf("model: spec %q has unnamed variable", s.Name)
+			}
+			if v.Domain == nil {
+				return fmt.Errorf("model: spec %q variable %s has no domain", s.Name, v.Name)
+			}
+			if seen[v.Name] {
+				return fmt.Errorf("model: spec %q declares variable %s twice", s.Name, v.Name)
+			}
+			seen[v.Name] = true
+		}
+	}
+	return nil
+}
+
+// BitsFor returns the number of bits needed to store one value from a
+// domain of the given size: ⌈log2(size)⌉ (0 for size <= 1).
+func BitsFor(domain int) int {
+	if domain <= 1 {
+		return 0
+	}
+	return bits.Len(uint(domain - 1))
+}
+
+// VarKind distinguishes the three variable classes.
+type VarKind int
+
+// Variable classes, in the order they appear in the paper's model.
+const (
+	KindComm VarKind = iota + 1
+	KindConst
+	KindInternal
+)
+
+// String returns the lower-case kind name.
+func (k VarKind) String() string {
+	switch k {
+	case KindComm:
+		return "comm"
+	case KindConst:
+		return "const"
+	case KindInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("VarKind(%d)", int(k))
+	}
+}

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Scheduler chooses, for each step, the non-empty subset of processes to
+// activate. Implementations live in internal/sched; the distributed fair
+// scheduler of the paper is the reference semantics.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Select returns the processes activated at this step. It must be
+	// non-empty; it may consult enabledness via EnabledSet (that probe
+	// is the daemon's omniscience and does not count as communication).
+	Select(step int, sys *System, cfg *Config) []int
+}
+
+// Simulator drives a system through a computation: scheduler selections,
+// atomic steps, round accounting (Dolev-Israeli-Moran rounds as defined
+// in Section 2), and observer callbacks.
+type Simulator struct {
+	sys   *System
+	cfg   *Config
+	sched Scheduler
+	obs   Observer
+
+	seed uint64
+	step int
+
+	round           int
+	seenThisRound   []bool
+	remainingInRnd  int
+	roundBoundaries []int // step index at which each round completed
+}
+
+// NewSimulator builds a simulator over a deep copy of cfg0, so the caller
+// keeps the initial configuration.
+func NewSimulator(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs Observer) (*Simulator, error) {
+	if err := cfg0.Validate(sys); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		sys:            sys,
+		cfg:            cfg0.Clone(),
+		sched:          sched,
+		obs:            obs,
+		seed:           seed,
+		seenThisRound:  make([]bool, sys.N()),
+		remainingInRnd: sys.N(),
+	}
+	return s, nil
+}
+
+// Sys returns the underlying system.
+func (s *Simulator) Sys() *System { return s.sys }
+
+// Config returns the live configuration (mutated by Step).
+func (s *Simulator) Config() *Config { return s.cfg }
+
+// Steps returns the number of executed steps.
+func (s *Simulator) Steps() int { return s.step }
+
+// Rounds returns the number of completed rounds.
+func (s *Simulator) Rounds() int { return s.round }
+
+// RoundBoundaries returns the step index at which each completed round
+// ended.
+func (s *Simulator) RoundBoundaries() []int {
+	return append([]int(nil), s.roundBoundaries...)
+}
+
+// Step executes one scheduler step and returns the selected processes.
+func (s *Simulator) Step() []int {
+	selected := s.sched.Select(s.step, s.sys, s.cfg)
+	if len(selected) == 0 {
+		panic(fmt.Sprintf("model: scheduler %s selected the empty set", s.sched.Name()))
+	}
+	if s.obs != nil {
+		s.obs.StepBegin(s.step, selected)
+	}
+	stepSeed := rng.Derive(s.seed, uint64(s.step))
+	randFor := func(p int) *rng.Rand {
+		return rng.New(rng.Derive(stepSeed, uint64(p)))
+	}
+	ExecuteStep(s.sys, s.cfg, selected, s.step, randFor, s.obs)
+
+	roundCompleted := false
+	for _, p := range selected {
+		if !s.seenThisRound[p] {
+			s.seenThisRound[p] = true
+			s.remainingInRnd--
+		}
+	}
+	if s.remainingInRnd == 0 {
+		roundCompleted = true
+		s.round++
+		s.roundBoundaries = append(s.roundBoundaries, s.step)
+		for i := range s.seenThisRound {
+			s.seenThisRound[i] = false
+		}
+		s.remainingInRnd = s.sys.N()
+	}
+	if s.obs != nil {
+		s.obs.StepEnd(s.step, selected, roundCompleted)
+	}
+	s.step++
+	return selected
+}
+
+// RunUntil executes steps until stop(cfg) holds or maxSteps is reached.
+// It returns true if the predicate was met. The predicate is evaluated on
+// the initial configuration first.
+func (s *Simulator) RunUntil(stop func(*Config) bool, maxSteps int) bool {
+	if stop(s.cfg) {
+		return true
+	}
+	for s.step < maxSteps {
+		s.Step()
+		if stop(s.cfg) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunUntilSilent executes steps until the configuration is communication-
+// silent, checking silence every checkEvery steps (and on the initial
+// configuration). It returns whether silence was reached within maxSteps.
+func (s *Simulator) RunUntilSilent(maxSteps, checkEvery int) (bool, error) {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	silent, err := CommSilent(s.sys, s.cfg)
+	if err != nil {
+		return false, err
+	}
+	if silent {
+		return true, nil
+	}
+	for s.step < maxSteps {
+		s.Step()
+		if s.step%checkEvery == 0 {
+			silent, err := CommSilent(s.sys, s.cfg)
+			if err != nil {
+				return false, err
+			}
+			if silent {
+				return true, nil
+			}
+		}
+	}
+	silent, err = CommSilent(s.sys, s.cfg)
+	return silent, err
+}
+
+// RunSteps executes exactly k further steps.
+func (s *Simulator) RunSteps(k int) {
+	for i := 0; i < k; i++ {
+		s.Step()
+	}
+}
+
+// RunRounds executes steps until k further rounds have completed.
+func (s *Simulator) RunRounds(k int) {
+	target := s.round + k
+	for s.round < target {
+		s.Step()
+	}
+}

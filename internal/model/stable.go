@@ -1,0 +1,143 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// readCollector is an Observer that only collects neighbor reads.
+type readCollector struct {
+	reads map[int]bool
+}
+
+func (rc *readCollector) StepBegin(int, []int)              {}
+func (rc *readCollector) ActionFired(int, int, int)         {}
+func (rc *readCollector) CommWrite(int, int, int, int, int) {}
+func (rc *readCollector) StepEnd(int, []int, bool)          {}
+func (rc *readCollector) Read(_, _, q int, _ VarKind, _, _ int) {
+	rc.reads[q] = true
+}
+
+// EventualReadSets computes, for a communication-silent configuration,
+// the exact set of neighbors each process keeps reading forever: the
+// analytical counterpart of the suffix measurement behind the paper's
+// ♦-(x,k)-stability (Definition 9).
+//
+// From a silent configuration, each process's local evolution is the
+// deterministic orbit of its state under a frozen neighborhood
+// (neighbors' communication variables never change again), regardless of
+// how the scheduler interleaves processes. The orbit is a ρ shape: a
+// finite tail followed by a cycle. Reads performed in the tail happen
+// finitely often; the eventual read set is the union of the reads
+// performed along the cycle.
+//
+// An error is returned if cfg is not silent (a communication write or an
+// enabled randomized action is encountered while tracing an orbit).
+func EventualReadSets(sys *System, cfg *Config) ([][]int, error) {
+	out := make([][]int, sys.N())
+	for p := 0; p < sys.N(); p++ {
+		set, err := eventualReadsOf(sys, cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("model: eventual reads of process %d: %w", p, err)
+		}
+		out[p] = set
+	}
+	return out, nil
+}
+
+func eventualReadsOf(sys *System, cfg *Config, p int) ([]int, error) {
+	const maxOrbit = 1 << 16
+	comm := append([]int(nil), cfg.Comm[p]...)
+	internal := append([]int(nil), cfg.Internal[p]...)
+
+	firstSeen := make(map[string]int)
+	var stateReads []map[int]bool // reads performed when stepping FROM state i
+
+	for iter := 0; iter < maxOrbit; iter++ {
+		key := stateKey(comm, internal)
+		if start, seen := firstSeen[key]; seen {
+			// Cycle detected: states start..iter-1 repeat forever.
+			union := map[int]bool{}
+			for i := start; i < len(stateReads); i++ {
+				for q := range stateReads[i] {
+					union[q] = true
+				}
+			}
+			return sortedKeys(union), nil
+		}
+		firstSeen[key] = iter
+
+		rc := &readCollector{reads: map[int]bool{}}
+		c := &Ctx{sys: sys, pre: cfg, p: p,
+			comm:     append([]int(nil), comm...),
+			internal: append([]int(nil), internal...),
+			obs:      rc,
+		}
+		idx := -1
+		for i := range sys.spec.Actions {
+			if sys.spec.Actions[i].Guard(c) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Disabled is a fixed point: the guard evaluations just
+			// performed repeat forever.
+			return sortedKeys(rc.reads), nil
+		}
+		act := sys.spec.Actions[idx]
+		if act.Randomized {
+			return nil, fmt.Errorf("enabled randomized action %q: configuration is not silent", act.Name)
+		}
+		c.randAllowed = true
+		act.Apply(c)
+		c.randAllowed = false
+		if !intsEqual(c.comm, comm) {
+			return nil, fmt.Errorf("action %q writes communication state: configuration is not silent", act.Name)
+		}
+		stateReads = append(stateReads, rc.reads)
+		comm, internal = c.comm, c.internal
+	}
+	return nil, fmt.Errorf("orbit exceeded %d states", maxOrbit)
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StabilityProfile summarizes EventualReadSets.
+type StabilityProfile struct {
+	// ReadSets[p] is the exact eventual read set of process p.
+	ReadSets [][]int
+	// Stable[k] would be the count for arbitrary k; OneStable counts
+	// processes with at most one eventual neighbor (the x of
+	// ♦-(x,1)-stability).
+	OneStable int
+	// SuffixK is the smallest k such that the protocol is ♦-k-stable on
+	// this execution's limit (max eventual read-set size).
+	SuffixK int
+}
+
+// AnalyzeStability computes the exact ♦-stability profile of a silent
+// configuration.
+func AnalyzeStability(sys *System, cfg *Config) (*StabilityProfile, error) {
+	sets, err := EventualReadSets(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof := &StabilityProfile{ReadSets: sets}
+	for _, s := range sets {
+		if len(s) <= 1 {
+			prof.OneStable++
+		}
+		if len(s) > prof.SuffixK {
+			prof.SuffixK = len(s)
+		}
+	}
+	return prof, nil
+}

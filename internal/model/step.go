@@ -1,0 +1,132 @@
+package model
+
+import (
+	"repro/internal/rng"
+)
+
+// execOne evaluates p's guards in priority order against ctx's scratch
+// state (own) and pre configuration (neighbors) and applies the first
+// enabled action. It returns the fired action index or -1 if p is
+// disabled.
+func execOne(c *Ctx) int {
+	spec := c.sys.spec
+	for i := range spec.Actions {
+		c.randAllowed = false
+		if spec.Actions[i].Guard(c) {
+			c.randAllowed = true
+			spec.Actions[i].Apply(c)
+			c.randAllowed = false
+			return i
+		}
+	}
+	return -1
+}
+
+// newCtx builds an execution context for p whose own state is a scratch
+// copy taken from cfg.
+func newCtx(sys *System, cfg *Config, p int, r *rng.Rand, obs Observer, step int) *Ctx {
+	return &Ctx{
+		sys:      sys,
+		pre:      cfg,
+		p:        p,
+		comm:     append([]int(nil), cfg.Comm[p]...),
+		internal: append([]int(nil), cfg.Internal[p]...),
+		rand:     r,
+		obs:      obs,
+		step:     step,
+	}
+}
+
+// ExecuteStep performs one scheduler step on cfg in place: every process
+// in selected atomically evaluates its guards against the pre-step
+// configuration and executes its first enabled action, then all writes
+// are committed simultaneously (the paper's distributed scheduler
+// semantics: configuration γ_{i+1} is obtained from γ_i after all
+// processes in s_i execute one enabled action, if any).
+//
+// randFor supplies each process's private random stream for this step.
+// fired receives the fired action index per selected process (-1 if
+// disabled); the returned slice is indexed like selected.
+func ExecuteStep(sys *System, cfg *Config, selected []int, step int, randFor func(p int) *rng.Rand, obs Observer) []int {
+	fired := make([]int, len(selected))
+	ctxs := make([]*Ctx, len(selected))
+	for i, p := range selected {
+		var r *rng.Rand
+		if randFor != nil {
+			r = randFor(p)
+		}
+		c := newCtx(sys, cfg, p, r, obs, step)
+		ctxs[i] = c
+		fired[i] = execOne(c)
+		if obs != nil {
+			obs.ActionFired(step, p, fired[i])
+		}
+	}
+	// Commit all writes simultaneously.
+	for i, p := range selected {
+		if fired[i] < 0 {
+			continue
+		}
+		c := ctxs[i]
+		if obs != nil {
+			for v, nv := range c.comm {
+				if ov := cfg.Comm[p][v]; ov != nv {
+					obs.CommWrite(step, p, v, ov, nv)
+				}
+			}
+		}
+		copy(cfg.Comm[p], c.comm)
+		copy(cfg.Internal[p], c.internal)
+	}
+	return fired
+}
+
+// StepProcess executes one atomic step of process p directly on cfg:
+// guards are evaluated, the first enabled action applied, and p's state
+// written back. It returns the fired action index (-1 if disabled).
+//
+// Unlike ExecuteStep this mutates cfg immediately; it exists for external
+// runtimes (e.g. the goroutine runtime in internal/concurrent) that
+// provide their own synchronization. The caller must guarantee exclusive
+// access to p's state and read access to the neighbors' communication
+// state for the duration of the call.
+func StepProcess(sys *System, cfg *Config, p int, r *rng.Rand, obs Observer, step int) int {
+	c := newCtx(sys, cfg, p, r, obs, step)
+	fired := execOne(c)
+	if fired >= 0 {
+		copy(cfg.Comm[p], c.comm)
+		copy(cfg.Internal[p], c.internal)
+	}
+	return fired
+}
+
+// EnabledAction returns the index of p's first enabled action in cfg, or
+// -1 if p is disabled. The probe is side-effect free and unrecorded: it
+// models the scheduler's (and analyst's) omniscience, not process
+// communication.
+func EnabledAction(sys *System, cfg *Config, p int) int {
+	c := newCtx(sys, cfg, p, nil, nil, -1)
+	spec := sys.spec
+	for i := range spec.Actions {
+		if spec.Actions[i].Guard(c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Enabled reports whether p has an enabled action in cfg.
+func Enabled(sys *System, cfg *Config, p int) bool {
+	return EnabledAction(sys, cfg, p) >= 0
+}
+
+// EnabledSet returns the ids of all enabled processes in cfg.
+func EnabledSet(sys *System, cfg *Config) []int {
+	var out []int
+	for p := 0; p < sys.N(); p++ {
+		if Enabled(sys, cfg, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

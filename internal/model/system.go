@@ -1,0 +1,218 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// System binds a protocol spec to a network: the graph, the per-process
+// communication constants, and precomputed variable domains.
+type System struct {
+	g     *graph.Graph
+	spec  *Spec
+	delta int
+
+	consts [][]int // consts[p][v]
+
+	commDomains     [][]int // commDomains[p][v]
+	internalDomains [][]int
+	constDomains    [][]int
+}
+
+// NewSystem validates and builds a System. consts must have one row per
+// process with one value per Const variable (pass nil when the spec has
+// no constants).
+func NewSystem(g *graph.Graph, spec *Spec, consts [][]int) (*System, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if g.N() < 2 {
+		return nil, fmt.Errorf("model: system needs at least 2 processes, have %d", g.N())
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("model: the paper's model assumes connected topologies")
+	}
+	if g.MinDegree() < 1 {
+		return nil, fmt.Errorf("model: every process needs at least one neighbor")
+	}
+	if len(spec.Const) == 0 {
+		if len(consts) != 0 && len(consts) != g.N() {
+			return nil, fmt.Errorf("model: consts provided for a constant-free spec")
+		}
+	} else {
+		if len(consts) != g.N() {
+			return nil, fmt.Errorf("model: %d const rows for %d processes", len(consts), g.N())
+		}
+	}
+
+	s := &System{g: g, spec: spec, delta: g.MaxDegree()}
+	s.commDomains = make([][]int, g.N())
+	s.internalDomains = make([][]int, g.N())
+	s.constDomains = make([][]int, g.N())
+	s.consts = make([][]int, g.N())
+	for p := 0; p < g.N(); p++ {
+		info := DomainInfo{N: g.N(), Delta: s.delta, Degree: g.Degree(p)}
+		s.commDomains[p] = domainsFor(spec.Comm, info)
+		s.internalDomains[p] = domainsFor(spec.Internal, info)
+		s.constDomains[p] = domainsFor(spec.Const, info)
+		for v, d := range s.commDomains[p] {
+			if d < 1 {
+				return nil, fmt.Errorf("model: comm var %s has empty domain at process %d", spec.Comm[v].Name, p)
+			}
+		}
+		for v, d := range s.internalDomains[p] {
+			if d < 1 {
+				return nil, fmt.Errorf("model: internal var %s has empty domain at process %d", spec.Internal[v].Name, p)
+			}
+		}
+		if len(spec.Const) > 0 {
+			if len(consts[p]) != len(spec.Const) {
+				return nil, fmt.Errorf("model: process %d has %d constants, want %d", p, len(consts[p]), len(spec.Const))
+			}
+			row := make([]int, len(spec.Const))
+			for v, val := range consts[p] {
+				if val < 0 || val >= s.constDomains[p][v] {
+					return nil, fmt.Errorf("model: process %d constant %s=%d outside domain [0,%d)",
+						p, spec.Const[v].Name, val, s.constDomains[p][v])
+				}
+				row[v] = val
+			}
+			s.consts[p] = row
+		}
+	}
+	return s, nil
+}
+
+func domainsFor(vars []VarSpec, info DomainInfo) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = v.Domain(info)
+	}
+	return out
+}
+
+// Graph returns the network.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// Spec returns the protocol spec.
+func (s *System) Spec() *Spec { return s.spec }
+
+// N returns the number of processes.
+func (s *System) N() int { return s.g.N() }
+
+// Delta returns Δ, the maximum degree.
+func (s *System) Delta() int { return s.delta }
+
+// Const returns the value of constant v at process p.
+func (s *System) Const(p, v int) int {
+	return s.consts[p][v]
+}
+
+// CommDomain returns the domain size of communication variable v at p.
+func (s *System) CommDomain(p, v int) int { return s.commDomains[p][v] }
+
+// InternalDomain returns the domain size of internal variable v at p.
+func (s *System) InternalDomain(p, v int) int { return s.internalDomains[p][v] }
+
+// ConstDomain returns the domain size of constant v at p.
+func (s *System) ConstDomain(p, v int) int { return s.constDomains[p][v] }
+
+// Config is an instance of the states of all processes (paper §2). The
+// communication configuration is the Comm part alone.
+type Config struct {
+	// Comm[p][v] is communication variable v of process p.
+	Comm [][]int
+	// Internal[p][v] is internal variable v of process p.
+	Internal [][]int
+}
+
+// NewZeroConfig returns the all-zeroes configuration.
+func NewZeroConfig(s *System) *Config {
+	c := &Config{Comm: make([][]int, s.N()), Internal: make([][]int, s.N())}
+	for p := 0; p < s.N(); p++ {
+		c.Comm[p] = make([]int, len(s.spec.Comm))
+		c.Internal[p] = make([]int, len(s.spec.Internal))
+	}
+	return c
+}
+
+// NewRandomConfig draws a configuration uniformly at random from the full
+// state space — the adversarial "arbitrary initial configuration" of
+// self-stabilization.
+func NewRandomConfig(s *System, r *rng.Rand) *Config {
+	c := NewZeroConfig(s)
+	for p := 0; p < s.N(); p++ {
+		for v := range c.Comm[p] {
+			c.Comm[p][v] = r.Intn(s.commDomains[p][v])
+		}
+		for v := range c.Internal[p] {
+			c.Internal[p][v] = r.Intn(s.internalDomains[p][v])
+		}
+	}
+	return c
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{Comm: make([][]int, len(c.Comm)), Internal: make([][]int, len(c.Internal))}
+	for p := range c.Comm {
+		out.Comm[p] = append([]int(nil), c.Comm[p]...)
+		out.Internal[p] = append([]int(nil), c.Internal[p]...)
+	}
+	return out
+}
+
+// Equal reports whether both the communication and internal parts match.
+func (c *Config) Equal(d *Config) bool {
+	return c.CommEqual(d) && slices2Equal(c.Internal, d.Internal)
+}
+
+// CommEqual reports whether the communication configurations match
+// (the notion under which silence is defined).
+func (c *Config) CommEqual(d *Config) bool {
+	return slices2Equal(c.Comm, d.Comm)
+}
+
+func slices2Equal(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks that every value lies in its domain.
+func (c *Config) Validate(s *System) error {
+	if len(c.Comm) != s.N() || len(c.Internal) != s.N() {
+		return fmt.Errorf("model: config size mismatch")
+	}
+	for p := 0; p < s.N(); p++ {
+		if len(c.Comm[p]) != len(s.spec.Comm) || len(c.Internal[p]) != len(s.spec.Internal) {
+			return fmt.Errorf("model: config row %d has wrong arity", p)
+		}
+		for v, val := range c.Comm[p] {
+			if val < 0 || val >= s.commDomains[p][v] {
+				return fmt.Errorf("model: process %d comm %s=%d outside [0,%d)",
+					p, s.spec.Comm[v].Name, val, s.commDomains[p][v])
+			}
+		}
+		for v, val := range c.Internal[p] {
+			if val < 0 || val >= s.internalDomains[p][v] {
+				return fmt.Errorf("model: process %d internal %s=%d outside [0,%d)",
+					p, s.spec.Internal[v].Name, val, s.internalDomains[p][v])
+			}
+		}
+	}
+	return nil
+}

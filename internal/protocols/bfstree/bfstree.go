@@ -1,0 +1,187 @@
+// Package bfstree implements a classical silent self-stabilizing BFS
+// spanning-tree protocol for rooted networks, in the local-checking
+// style of Dolev, Israeli & Moran — the paradigm the paper's
+// introduction cites ([3,4]: "self-stabilization by local checking") and
+// whose communication cost ("every participant has to communicate with
+// every other neighbor repetitively") the paper sets out to beat.
+//
+// The protocol is the repository's fourth problem: it is full-read by
+// nature (a process needs the minimum distance over all neighbors), so
+// it is the natural case study for the local-checking transformer of
+// internal/transformer (the generalization asked for in the paper's
+// concluding remarks). Experiment E13 measures the transformed variant.
+//
+// Variables (per process p):
+//
+//	D.p ∈ {0..n}   communication: candidate BFS distance (n = clamp)
+//	P.p ∈ {0..δ.p} communication: parent port (0 at the root)
+//	R.p ∈ {0,1}    constant: 1 iff p is the root
+//
+// Actions:
+//
+//	(R.p ∧ (D.p ≠ 0 ∨ P.p ≠ 0))                  → D.p ← 0; P.p ← 0
+//	(¬R.p ∧ (D.p ≠ best+1 ∨ D at P.p ≠ best))    → D.p ← best+1; P.p ← argbest
+//
+// where best = min over neighbors q of D.q (clamped to n-1+1 = n).
+package bfstree
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Variable indices.
+const (
+	// VarD is the distance communication variable.
+	VarD = 0
+	// VarP is the parent-port communication variable.
+	VarP = 1
+	// ConstRoot is the root-flag constant.
+	ConstRoot = 0
+)
+
+// Spec returns the full-read BFS spanning-tree protocol.
+func Spec() *model.Spec {
+	readAll := func(c *model.Ctx) (best, bestPort int) {
+		best, bestPort = -1, 0
+		for port := 1; port <= c.Deg(); port++ {
+			d := c.NeighborComm(port, VarD)
+			if best < 0 || d < best {
+				best, bestPort = d, port
+			}
+		}
+		return best, bestPort
+	}
+	clampInc := func(c *model.Ctx, best int) int {
+		d := best + 1
+		if limit := c.N(); d > limit {
+			d = limit
+		}
+		return d
+	}
+	return &model.Spec{
+		Name: "BFSTREE",
+		Comm: []model.VarSpec{
+			{Name: "D", Domain: func(i model.DomainInfo) int { return i.N + 1 }},
+			{Name: "P", Domain: func(i model.DomainInfo) int { return i.Degree + 1 }},
+		},
+		Const: []model.VarSpec{
+			{Name: "R", Domain: model.FixedDomain(2)},
+		},
+		Actions: []model.Action{
+			{
+				Name: "root: anchor at distance 0",
+				Guard: func(c *model.Ctx) bool {
+					return c.Const(ConstRoot) == 1 && (c.Comm(VarD) != 0 || c.Comm(VarP) != 0)
+				},
+				Apply: func(c *model.Ctx) {
+					c.SetComm(VarD, 0)
+					c.SetComm(VarP, 0)
+				},
+			},
+			{
+				Name: "relax: adopt closest neighbor as parent",
+				Guard: func(c *model.Ctx) bool {
+					if c.Const(ConstRoot) == 1 {
+						return false
+					}
+					best, _ := readAll(c)
+					want := clampInc(c, best)
+					if c.Comm(VarD) != want {
+						return true
+					}
+					pp := c.Comm(VarP)
+					if pp == 0 {
+						return true
+					}
+					return c.NeighborComm(pp, VarD) != best
+				},
+				Apply: func(c *model.Ctx) {
+					best, bestPort := readAll(c)
+					c.SetComm(VarD, clampInc(c, best))
+					c.SetComm(VarP, bestPort)
+				},
+			},
+		},
+	}
+}
+
+// NewSystem builds a rooted system: root is the distinguished process.
+func NewSystem(g *graph.Graph, spec *model.Spec, root int) (*model.System, error) {
+	if root < 0 || root >= g.N() {
+		return nil, fmt.Errorf("bfstree: root %d out of range", root)
+	}
+	consts := make([][]int, g.N())
+	for p := range consts {
+		flag := 0
+		if p == root {
+			flag = 1
+		}
+		consts[p] = []int{flag}
+	}
+	return model.NewSystem(g, spec, consts)
+}
+
+// IsLegitimate reports whether cfg encodes the BFS tree of the system's
+// root: D.p equals the true hop distance and every non-root parent
+// pointer designates a neighbor one hop closer to the root.
+func IsLegitimate(sys *model.System, cfg *model.Config) bool {
+	g := sys.Graph()
+	root := -1
+	for p := 0; p < g.N(); p++ {
+		if sys.Const(p, ConstRoot) == 1 {
+			root = p
+			break
+		}
+	}
+	if root < 0 {
+		return false
+	}
+	dist := g.BFS(root)
+	for p := 0; p < g.N(); p++ {
+		if cfg.Comm[p][VarD] != dist[p] {
+			return false
+		}
+		pp := cfg.Comm[p][VarP]
+		if p == root {
+			if pp != 0 {
+				return false
+			}
+			continue
+		}
+		if pp == 0 {
+			return false
+		}
+		parent := g.Neighbor(p, pp)
+		if dist[parent] != dist[p]-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ParentEdges returns the tree edges (p, parent-of-p) for non-root
+// processes.
+func ParentEdges(sys *model.System, cfg *model.Config) [][2]int {
+	g := sys.Graph()
+	var out [][2]int
+	for p := 0; p < g.N(); p++ {
+		if pp := cfg.Comm[p][VarP]; pp != 0 {
+			out = append(out, [2]int{p, g.Neighbor(p, pp)})
+		}
+	}
+	return out
+}
+
+// Depth returns the maximum D value (the tree height) in cfg.
+func Depth(cfg *model.Config) int {
+	d := 0
+	for p := range cfg.Comm {
+		if cfg.Comm[p][VarD] > d {
+			d = cfg.Comm[p][VarD]
+		}
+	}
+	return d
+}

@@ -1,0 +1,68 @@
+// Package frozen provides deliberately communication-stable — and
+// therefore deliberately broken — variants of the paper's protocols.
+//
+// Theorems 1 and 2 prove that no ♦-k-stable (k < Δ) protocol can be
+// neighbor-complete: once every process confines its reads to a strict
+// neighbor subset, two silent executions can be cut and stitched into a
+// silent configuration that violates the predicate, and nobody ever
+// looks in the right direction to notice.
+//
+// The variants here realize exactly the protocols the theorems forbid:
+// each is the paper's protocol with its perpetual-scan behaviour removed,
+// making every process eventually read at most one fixed neighbor
+// (♦-1-stable). The verify package uses them to build the theorems'
+// counterexample configurations executably; their existence is the
+// impossibility result made concrete.
+package frozen
+
+import (
+	"repro/internal/model"
+	"repro/internal/protocols/coloring"
+	"repro/internal/protocols/matching"
+	"repro/internal/protocols/mis"
+)
+
+// ColoringSpec is Protocol COLORING without the "no conflict: advance"
+// action: a process only reads (and only ever re-reads) the neighbor its
+// cur pointer rests on, recoloring when that one neighbor conflicts.
+// Every process is eventually 1-stable; conflicts across unobserved edges
+// are never detected.
+func ColoringSpec() *model.Spec {
+	full := coloring.Spec()
+	return &model.Spec{
+		Name:     "COLORING-FROZEN",
+		Comm:     full.Comm,
+		Internal: full.Internal,
+		Actions:  full.Actions[:1], // keep only the conflict action
+	}
+}
+
+// MISSpec is Protocol MIS without the "scan: dominator advances cur"
+// action: a Dominator whose cur neighbor poses no threat stops reading
+// anything else. Two adjacent Dominators looking away from each other
+// deadlock.
+func MISSpec(maxColors int) *model.Spec {
+	full := mis.Spec(maxColors)
+	return &model.Spec{
+		Name:     "MIS-FROZEN",
+		Comm:     full.Comm,
+		Const:    full.Const,
+		Internal: full.Internal,
+		Actions:  full.Actions[:2], // drop the dominator scan
+	}
+}
+
+// MatchingSpec is Protocol MATCHING without the "seek: advance cur past
+// unusable neighbor" action: a free process whose cur neighbor is
+// unusable stops searching. Two free neighbors that never look at each
+// other stay unmatched forever.
+func MatchingSpec(maxColors int) *model.Spec {
+	full := matching.Spec(maxColors)
+	return &model.Spec{
+		Name:     "MATCHING-FROZEN",
+		Comm:     full.Comm,
+		Const:    full.Const,
+		Internal: full.Internal,
+		Actions:  full.Actions[:5], // drop the seek action
+	}
+}

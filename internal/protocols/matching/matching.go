@@ -1,0 +1,387 @@
+// Package matching implements Protocol MATCHING (paper Figure 10): a
+// 1-efficient deterministic self-stabilizing maximal-matching protocol
+// for locally identified networks (Theorem 7), stabilizing within
+// (Δ+1)n+2 rounds (Lemma 9) and ♦-(2⌈m/(2Δ-1)⌉, 1)-stable (Theorem 8);
+// plus a full-read baseline in the style of Manne, Mjelde, Pilard &
+// Tixeuil (SIROCCO 2007), the protocol Figure 10 derives from.
+//
+// Encodings: M.p ∈ {true,false} is 1/0; PR.p ∈ {0..δ.p} keeps the
+// paper's meaning (0 = free, k > 0 = port k); the color constant C.p is
+// stored 0-based; cur is stored 0-based (port = cur+1); ≺ is integer <.
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Communication-variable, constant and internal-variable indices.
+const (
+	// VarM is the Boolean married flag M.p.
+	VarM = 0
+	// VarPR is the marriage pointer PR.p ∈ {0..δ.p}.
+	VarPR = 1
+	// ConstC is the communication constant C.p (the local identifier).
+	ConstC = 0
+	// VarCur is the internal round-robin pointer cur.p.
+	VarCur = 0
+)
+
+// prMarried evaluates the paper's predicate
+// PRmarried(p) ≡ (PR.p = cur.p ∧ PR.(cur.p) = p), reading only the
+// neighbor behind cur.p.
+func prMarried(c *model.Ctx) bool {
+	curPort := c.Internal(VarCur) + 1
+	return c.Comm(VarPR) == curPort &&
+		c.NeighborComm(curPort, VarPR) == c.BackPort(curPort)
+}
+
+// Spec returns Protocol MATCHING for any process p (Figure 10), with the
+// six actions in decreasing priority order:
+//
+//	(PR.p ∉ {0, cur.p})                             → PR.p ← cur.p
+//	(M.p ≠ PRmarried(p))                            → M.p ← PRmarried(p)
+//	(PR.p = 0 ∧ PR.(cur.p) = p)                     → PR.p ← cur.p
+//	(PR.p = cur.p ∧ PR.(cur.p) ≠ p ∧
+//	     (M.(cur.p) ∨ C.(cur.p) ≺ C.p))             → PR.p ← 0
+//	(PR.p = 0 ∧ PR.(cur.p) = 0 ∧ C.p ≺ C.(cur.p) ∧ ¬M.(cur.p))
+//	                                                → PR.p ← cur.p
+//	(PR.p = 0 ∧ (PR.(cur.p) ≠ 0 ∨ C.(cur.p) ≺ C.p ∨ M.(cur.p)))
+//	                                                → cur.p ← (cur.p mod δ.p)+1
+func Spec(maxColors int) *model.Spec {
+	return &model.Spec{
+		Name: "MATCHING",
+		Comm: []model.VarSpec{
+			{Name: "M", Domain: model.FixedDomain(2)},
+			{Name: "PR", Domain: func(i model.DomainInfo) int { return i.Degree + 1 }},
+		},
+		Const: []model.VarSpec{{
+			Name:   "C",
+			Domain: model.FixedDomain(maxColors),
+		}},
+		Internal: []model.VarSpec{{
+			Name:   "cur",
+			Domain: func(i model.DomainInfo) int { return i.Degree },
+		}},
+		Actions: []model.Action{
+			{
+				Name: "align: PR must be 0 or cur",
+				Guard: func(c *model.Ctx) bool {
+					pr := c.Comm(VarPR)
+					return pr != 0 && pr != c.Internal(VarCur)+1
+				},
+				Apply: func(c *model.Ctx) {
+					c.SetComm(VarPR, c.Internal(VarCur)+1)
+				},
+			},
+			{
+				Name: "publish: refresh married flag",
+				Guard: func(c *model.Ctx) bool {
+					married := 0
+					if prMarried(c) {
+						married = 1
+					}
+					return c.Comm(VarM) != married
+				},
+				Apply: func(c *model.Ctx) {
+					married := 0
+					if prMarried(c) {
+						married = 1
+					}
+					c.SetComm(VarM, married)
+				},
+			},
+			{
+				Name: "accept: marriage proposal from cur",
+				Guard: func(c *model.Ctx) bool {
+					curPort := c.Internal(VarCur) + 1
+					return c.Comm(VarPR) == 0 &&
+						c.NeighborComm(curPort, VarPR) == c.BackPort(curPort)
+				},
+				Apply: func(c *model.Ctx) {
+					c.SetComm(VarPR, c.Internal(VarCur)+1)
+				},
+			},
+			{
+				Name: "abandon: cur is taken or lower-colored",
+				Guard: func(c *model.Ctx) bool {
+					curPort := c.Internal(VarCur) + 1
+					return c.Comm(VarPR) == curPort &&
+						c.NeighborComm(curPort, VarPR) != c.BackPort(curPort) &&
+						(c.NeighborComm(curPort, VarM) == 1 ||
+							c.NeighborConst(curPort, ConstC) < c.Const(ConstC))
+				},
+				Apply: func(c *model.Ctx) {
+					c.SetComm(VarPR, 0)
+				},
+			},
+			{
+				Name: "propose: free higher-colored unmarried cur",
+				Guard: func(c *model.Ctx) bool {
+					curPort := c.Internal(VarCur) + 1
+					return c.Comm(VarPR) == 0 &&
+						c.NeighborComm(curPort, VarPR) == 0 &&
+						c.Const(ConstC) < c.NeighborConst(curPort, ConstC) &&
+						c.NeighborComm(curPort, VarM) == 0
+				},
+				Apply: func(c *model.Ctx) {
+					c.SetComm(VarPR, c.Internal(VarCur)+1)
+				},
+			},
+			{
+				Name: "seek: advance cur past unusable neighbor",
+				Guard: func(c *model.Ctx) bool {
+					curPort := c.Internal(VarCur) + 1
+					return c.Comm(VarPR) == 0 &&
+						(c.NeighborComm(curPort, VarPR) != 0 ||
+							c.NeighborConst(curPort, ConstC) < c.Const(ConstC) ||
+							c.NeighborComm(curPort, VarM) == 1)
+				},
+				Apply: func(c *model.Ctx) {
+					c.SetInternal(VarCur, (c.Internal(VarCur)+1)%c.Deg())
+				},
+			},
+		},
+	}
+}
+
+// BaselineSpec returns the full-read maximal-matching protocol Figure 10
+// derives from (Manne et al. 2007, with local colors in place of global
+// identifiers): every guard reads all neighbors.
+//
+//	update:  (M.p ≠ married(p))                       → M.p ← married(p)
+//	marry:   (PR.p = 0 ∧ ∃q: PR.q = p)                → PR.p ← first such q
+//	seduce:  (PR.p = 0 ∧ ∀q: PR.q ≠ p ∧
+//	          ∃q: PR.q = 0 ∧ ¬M.q ∧ C.p ≺ C.q)        → PR.p ← max-color such q
+//	abandon: (PR.p = q ≠ 0 ∧ PR.q ≠ p ∧ (M.q ∨ C.q ≺ C.p)) → PR.p ← 0
+//
+// where married(p) ≡ PR.p ≠ 0 ∧ PR.(PR.p) = p.
+func BaselineSpec(maxColors int) *model.Spec {
+	type view struct {
+		pr, m, color, backPort []int
+	}
+	readAll := func(c *model.Ctx) view {
+		v := view{
+			pr:       make([]int, c.Deg()),
+			m:        make([]int, c.Deg()),
+			color:    make([]int, c.Deg()),
+			backPort: make([]int, c.Deg()),
+		}
+		for port := 1; port <= c.Deg(); port++ {
+			v.pr[port-1] = c.NeighborComm(port, VarPR)
+			v.m[port-1] = c.NeighborComm(port, VarM)
+			v.color[port-1] = c.NeighborConst(port, ConstC)
+			v.backPort[port-1] = c.BackPort(port)
+		}
+		return v
+	}
+	married := func(c *model.Ctx, v view) bool {
+		pr := c.Comm(VarPR)
+		return pr != 0 && v.pr[pr-1] == v.backPort[pr-1]
+	}
+	return &model.Spec{
+		Name: "MATCHING-FULLREAD",
+		Comm: []model.VarSpec{
+			{Name: "M", Domain: model.FixedDomain(2)},
+			{Name: "PR", Domain: func(i model.DomainInfo) int { return i.Degree + 1 }},
+		},
+		Const: []model.VarSpec{{
+			Name:   "C",
+			Domain: model.FixedDomain(maxColors),
+		}},
+		Actions: []model.Action{
+			{
+				Name: "update married flag",
+				Guard: func(c *model.Ctx) bool {
+					v := readAll(c)
+					m := 0
+					if married(c, v) {
+						m = 1
+					}
+					return c.Comm(VarM) != m
+				},
+				Apply: func(c *model.Ctx) {
+					v := readAll(c)
+					m := 0
+					if married(c, v) {
+						m = 1
+					}
+					c.SetComm(VarM, m)
+				},
+			},
+			{
+				Name: "marry a proposer",
+				Guard: func(c *model.Ctx) bool {
+					if c.Comm(VarPR) != 0 {
+						return false
+					}
+					v := readAll(c)
+					for i := range v.pr {
+						if v.pr[i] == v.backPort[i] {
+							return true
+						}
+					}
+					return false
+				},
+				Apply: func(c *model.Ctx) {
+					v := readAll(c)
+					for i := range v.pr {
+						if v.pr[i] == v.backPort[i] {
+							c.SetComm(VarPR, i+1)
+							return
+						}
+					}
+				},
+			},
+			{
+				Name: "seduce best free candidate",
+				Guard: func(c *model.Ctx) bool {
+					if c.Comm(VarPR) != 0 {
+						return false
+					}
+					v := readAll(c)
+					for i := range v.pr {
+						if v.pr[i] == v.backPort[i] {
+							return false // marry has priority anyway
+						}
+					}
+					for i := range v.pr {
+						if v.pr[i] == 0 && v.m[i] == 0 && c.Const(ConstC) < v.color[i] {
+							return true
+						}
+					}
+					return false
+				},
+				Apply: func(c *model.Ctx) {
+					v := readAll(c)
+					best, bestColor := 0, -1
+					for i := range v.pr {
+						if v.pr[i] == 0 && v.m[i] == 0 && c.Const(ConstC) < v.color[i] && v.color[i] > bestColor {
+							best, bestColor = i+1, v.color[i]
+						}
+					}
+					c.SetComm(VarPR, best)
+				},
+			},
+			{
+				Name: "abandon dead proposal",
+				Guard: func(c *model.Ctx) bool {
+					pr := c.Comm(VarPR)
+					if pr == 0 {
+						return false
+					}
+					v := readAll(c)
+					return v.pr[pr-1] != v.backPort[pr-1] &&
+						(v.m[pr-1] == 1 || v.color[pr-1] < c.Const(ConstC))
+				},
+				Apply: func(c *model.Ctx) { c.SetComm(VarPR, 0) },
+			},
+		},
+	}
+}
+
+// NewSystem builds a System for the given spec over a locally identified
+// network: colors must be a proper distance-1 coloring with values
+// 1..maxColors (1-based).
+func NewSystem(g *graph.Graph, spec *model.Spec, colors []int) (*model.System, error) {
+	if err := graph.ValidateLocalIdentifiers(g, colors); err != nil {
+		return nil, fmt.Errorf("matching: %w", err)
+	}
+	consts := make([][]int, g.N())
+	for p := range consts {
+		consts[p] = []int{colors[p] - 1}
+	}
+	return model.NewSystem(g, spec, consts)
+}
+
+// MatchedEdges returns the edge set {{p,q}: PR.p and PR.q point at each
+// other}, each edge once with p < q.
+func MatchedEdges(sys *model.System, cfg *model.Config) [][2]int {
+	g := sys.Graph()
+	var out [][2]int
+	for p := 0; p < g.N(); p++ {
+		pr := cfg.Comm[p][VarPR]
+		if pr == 0 {
+			continue
+		}
+		q := g.Neighbor(p, pr)
+		if p < q && cfg.Comm[q][VarPR] == g.BackPort(p, pr) {
+			out = append(out, [2]int{p, q})
+		}
+	}
+	return out
+}
+
+// MarriedCount returns the number of processes incident to a matched
+// edge.
+func MarriedCount(sys *model.System, cfg *model.Config) int {
+	return 2 * len(MatchedEdges(sys, cfg))
+}
+
+// IsLegitimate reports whether the matched-edge set is a maximal
+// matching and all flags are consistent: every process is either married
+// or free (Lemma 5), M.p reflects marriage, and no two free neighbors
+// remain.
+func IsLegitimate(sys *model.System, cfg *model.Config) bool {
+	g := sys.Graph()
+	matchedWith := make([]int, g.N()) // 0 = unmarried, else neighbor+1
+	for _, e := range MatchedEdges(sys, cfg) {
+		if matchedWith[e[0]] != 0 || matchedWith[e[1]] != 0 {
+			return false // some process in two matched edges
+		}
+		matchedWith[e[0]] = e[1] + 1
+		matchedWith[e[1]] = e[0] + 1
+	}
+	for p := 0; p < g.N(); p++ {
+		pr := cfg.Comm[p][VarPR]
+		married := matchedWith[p] != 0
+		if married != (cfg.Comm[p][VarM] == 1) {
+			return false // stale married flag
+		}
+		if !married && pr != 0 {
+			return false // neither free nor married (Lemma 5)
+		}
+		if !married {
+			for _, q := range g.Neighbors(p) {
+				if matchedWith[q] == 0 {
+					return false // two free neighbors: not maximal
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalMatching checks just the graph-theoretic predicate on the
+// matched edges (ignoring flag consistency).
+func IsMaximalMatching(sys *model.System, cfg *model.Config) bool {
+	g := sys.Graph()
+	matched := make([]bool, g.N())
+	for _, e := range MatchedEdges(sys, cfg) {
+		if matched[e[0]] || matched[e[1]] {
+			return false
+		}
+		matched[e[0]] = true
+		matched[e[1]] = true
+	}
+	for _, e := range g.Edges() {
+		if !matched[e[0]] && !matched[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundBound returns Lemma 9's convergence bound (Δ+1)n + 2.
+func RoundBound(sys *model.System) int {
+	return (sys.Delta()+1)*sys.N() + 2
+}
+
+// StabilityBound returns Theorem 8's lower bound 2⌈m/(2Δ-1)⌉ on the
+// number of eventually-matched (hence 1-stable) processes.
+func StabilityBound(m, delta int) int {
+	d := 2*delta - 1
+	return 2 * ((m + d - 1) / d)
+}

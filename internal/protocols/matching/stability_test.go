@@ -1,0 +1,57 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestExactStabilityStructure pins down Theorem 8's stability shape: in
+// the silent configuration every married process's eventual read set is
+// exactly its partner, while free processes keep scanning all neighbors.
+func TestExactStabilityStructure(t *testing.T) {
+	for _, g := range suite(t) {
+		sys := buildSystem(t, g, false)
+		res := runOnce(t, sys, sched.NewRandomSubset(71), 71, 0)
+		if !res.Silent {
+			t.Fatalf("%s: no silence", g)
+		}
+		prof, err := model.AnalyzeStability(sys, res.Final)
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		partner := make(map[int]int)
+		for _, e := range MatchedEdges(sys, res.Final) {
+			partner[e[0]] = e[1]
+			partner[e[1]] = e[0]
+		}
+		for p := 0; p < g.N(); p++ {
+			got := prof.ReadSets[p]
+			if q, married := partner[p]; married {
+				if len(got) != 1 || got[0] != q {
+					t.Fatalf("%s: married %d eventually reads %v, want its partner [%d]", g, p, got, q)
+				}
+			} else {
+				if len(got) != g.Degree(p) {
+					t.Fatalf("%s: free %d eventually reads %v, want all %d neighbors",
+						g, p, got, g.Degree(p))
+				}
+			}
+		}
+		// Exact 1-stable count = married + free processes of degree 1,
+		// and must clear Theorem 8's bound.
+		want := 0
+		for p := 0; p < g.N(); p++ {
+			if _, married := partner[p]; married || g.Degree(p) == 1 {
+				want++
+			}
+		}
+		if prof.OneStable != want {
+			t.Fatalf("%s: exact OneStable=%d, structural count=%d", g, prof.OneStable, want)
+		}
+		if bound := StabilityBound(g.M(), g.MaxDegree()); prof.OneStable < bound {
+			t.Fatalf("%s: exact 1-stable %d below Theorem 8 bound %d", g, prof.OneStable, bound)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package sched provides schedulers (daemons) for the simulator. The
+// paper assumes a distributed fair scheduler: any non-empty subset of
+// processes may be selected at each step, and every process is selected
+// infinitely often. All schedulers here satisfy distributed fairness
+// either surely (synchronous, round-robin, window-bounded) or with
+// probability 1 (random selections).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// Synchronous selects every process at every step.
+type Synchronous struct{}
+
+// Name implements model.Scheduler.
+func (Synchronous) Name() string { return "synchronous" }
+
+// Select implements model.Scheduler.
+func (Synchronous) Select(_ int, sys *model.System, _ *model.Config) []int {
+	out := make([]int, sys.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// CentralRoundRobin selects a single process per step, cycling through
+// ids — the classic fair central daemon.
+type CentralRoundRobin struct{}
+
+// Name implements model.Scheduler.
+func (CentralRoundRobin) Name() string { return "central-rr" }
+
+// Select implements model.Scheduler.
+func (CentralRoundRobin) Select(step int, sys *model.System, _ *model.Config) []int {
+	return []int{step % sys.N()}
+}
+
+// CentralRandom selects one uniformly random process per step (fair with
+// probability 1).
+type CentralRandom struct {
+	r *rng.Rand
+}
+
+// NewCentralRandom returns a CentralRandom scheduler with its own stream.
+func NewCentralRandom(seed uint64) *CentralRandom {
+	return &CentralRandom{r: rng.New(rng.DeriveString(seed, "sched-central-random"))}
+}
+
+// Name implements model.Scheduler.
+func (*CentralRandom) Name() string { return "central-random" }
+
+// Select implements model.Scheduler.
+func (s *CentralRandom) Select(_ int, sys *model.System, _ *model.Config) []int {
+	return []int{s.r.Intn(sys.N())}
+}
+
+// RandomSubset selects a uniformly random non-empty subset of processes
+// per step — the least structured distributed fair scheduler.
+type RandomSubset struct {
+	r *rng.Rand
+}
+
+// NewRandomSubset returns a RandomSubset scheduler with its own stream.
+func NewRandomSubset(seed uint64) *RandomSubset {
+	return &RandomSubset{r: rng.New(rng.DeriveString(seed, "sched-random-subset"))}
+}
+
+// Name implements model.Scheduler.
+func (*RandomSubset) Name() string { return "random-subset" }
+
+// Select implements model.Scheduler.
+func (s *RandomSubset) Select(_ int, sys *model.System, _ *model.Config) []int {
+	return s.r.SubsetNonEmpty(sys.N())
+}
+
+// EnabledBiased selects a random non-empty subset of the enabled
+// processes when any exist (falling back to a random singleton
+// otherwise). It models daemons that never waste activations; note the
+// paper's round definition still counts selections of disabled
+// processes, which this daemon avoids until a fixpoint.
+type EnabledBiased struct {
+	r *rng.Rand
+}
+
+// NewEnabledBiased returns an EnabledBiased scheduler with its own stream.
+func NewEnabledBiased(seed uint64) *EnabledBiased {
+	return &EnabledBiased{r: rng.New(rng.DeriveString(seed, "sched-enabled"))}
+}
+
+// Name implements model.Scheduler.
+func (*EnabledBiased) Name() string { return "enabled-biased" }
+
+// Select implements model.Scheduler.
+func (s *EnabledBiased) Select(_ int, sys *model.System, cfg *model.Config) []int {
+	enabled := model.EnabledSet(sys, cfg)
+	if len(enabled) == 0 {
+		return []int{s.r.Intn(sys.N())}
+	}
+	idxs := s.r.SubsetNonEmpty(len(enabled))
+	out := make([]int, len(idxs))
+	for i, j := range idxs {
+		out[i] = enabled[j]
+	}
+	return out
+}
+
+// LaziestFair is an adversarial-but-fair central daemon: at each step it
+// selects the single process that has gone longest without selection,
+// breaking ties toward *disabled* processes (wasting the activation) and
+// then toward lower degree. Every process is selected at least once every
+// n steps, so the daemon is fair, while being maximally unhelpful to
+// protocols that need their enabled processes scheduled.
+type LaziestFair struct {
+	last map[int]int
+}
+
+// NewLaziestFair returns a LaziestFair daemon.
+func NewLaziestFair() *LaziestFair {
+	return &LaziestFair{last: make(map[int]int)}
+}
+
+// Name implements model.Scheduler.
+func (*LaziestFair) Name() string { return "laziest-fair" }
+
+// Select implements model.Scheduler.
+func (s *LaziestFair) Select(step int, sys *model.System, cfg *model.Config) []int {
+	type cand struct {
+		p        int
+		last     int
+		disabled bool
+		deg      int
+	}
+	cands := make([]cand, 0, sys.N())
+	for p := 0; p < sys.N(); p++ {
+		last, ok := s.last[p]
+		if !ok {
+			last = -1
+		}
+		cands = append(cands, cand{
+			p:        p,
+			last:     last,
+			disabled: !model.Enabled(sys, cfg, p),
+			deg:      sys.Graph().Degree(p),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.last != b.last {
+			return a.last < b.last
+		}
+		if a.disabled != b.disabled {
+			return a.disabled
+		}
+		if a.deg != b.deg {
+			return a.deg < b.deg
+		}
+		return a.p < b.p
+	})
+	chosen := cands[0].p
+	s.last[chosen] = step
+	return []int{chosen}
+}
+
+// ByName constructs a scheduler from its CLI name.
+func ByName(name string, seed uint64) (model.Scheduler, error) {
+	switch name {
+	case "synchronous", "sync":
+		return Synchronous{}, nil
+	case "central-rr":
+		return CentralRoundRobin{}, nil
+	case "central-random":
+		return NewCentralRandom(seed), nil
+	case "random-subset", "distributed":
+		return NewRandomSubset(seed), nil
+	case "enabled-biased":
+		return NewEnabledBiased(seed), nil
+	case "laziest-fair", "adversarial":
+		return NewLaziestFair(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q (known: %v)", name, Names())
+	}
+}
+
+// Names lists the scheduler names accepted by ByName.
+func Names() []string {
+	return []string{
+		"synchronous", "central-rr", "central-random", "random-subset",
+		"enabled-biased", "laziest-fair",
+	}
+}

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func testSystem(t *testing.T) *model.System {
+	t.Helper()
+	spec := &model.Spec{
+		Name: "T",
+		Comm: []model.VarSpec{{Name: "X", Domain: model.FixedDomain(4)}},
+		Actions: []model.Action{{
+			Name:  "bump",
+			Guard: func(c *model.Ctx) bool { return c.Comm(0) != c.NeighborComm(1, 0) },
+			Apply: func(c *model.Ctx) { c.SetComm(0, c.NeighborComm(1, 0)) },
+		}},
+	}
+	sys, err := model.NewSystem(graph.Cycle(6), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func validSelection(t *testing.T, name string, sel []int, n int) {
+	t.Helper()
+	if len(sel) == 0 {
+		t.Fatalf("%s: empty selection", name)
+	}
+	seen := map[int]bool{}
+	for _, p := range sel {
+		if p < 0 || p >= n {
+			t.Fatalf("%s: selected %d out of range", name, p)
+		}
+		if seen[p] {
+			t.Fatalf("%s: duplicate selection of %d", name, p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAllSchedulersProduceValidSelections(t *testing.T) {
+	sys := testSystem(t)
+	cfg := model.NewZeroConfig(sys)
+	cfg.Comm[0][0] = 1
+	for _, name := range Names() {
+		sc, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name() == "" {
+			t.Fatalf("%s: empty Name()", name)
+		}
+		for step := 0; step < 200; step++ {
+			sel := sc.Select(step, sys, cfg)
+			validSelection(t, name, sel, sys.N())
+		}
+	}
+}
+
+func TestFairnessWindow(t *testing.T) {
+	// Every scheduler must select every process within a reasonable
+	// window (fairness; random ones with probability ~1 over 4000 steps).
+	// The configuration is a fixpoint (everyone disabled) so that
+	// enabled-biased exercises its fallback: along real computations its
+	// fairness comes from the enabled set shrinking to empty.
+	sys := testSystem(t)
+	cfg := model.NewZeroConfig(sys)
+	for _, name := range Names() {
+		sc, err := ByName(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, sys.N())
+		count := 0
+		for step := 0; step < 4000 && count < sys.N(); step++ {
+			for _, p := range sc.Select(step, sys, cfg) {
+				if !seen[p] {
+					seen[p] = true
+					count++
+				}
+			}
+		}
+		if count != sys.N() {
+			t.Fatalf("%s: only %d/%d processes ever selected", name, count, sys.N())
+		}
+	}
+}
+
+func TestSynchronousSelectsAll(t *testing.T) {
+	sys := testSystem(t)
+	sel := Synchronous{}.Select(0, sys, model.NewZeroConfig(sys))
+	if len(sel) != sys.N() {
+		t.Fatalf("synchronous selected %d processes", len(sel))
+	}
+}
+
+func TestCentralRoundRobinCycle(t *testing.T) {
+	sys := testSystem(t)
+	cfg := model.NewZeroConfig(sys)
+	for step := 0; step < 12; step++ {
+		sel := CentralRoundRobin{}.Select(step, sys, cfg)
+		if len(sel) != 1 || sel[0] != step%6 {
+			t.Fatalf("step %d: selected %v", step, sel)
+		}
+	}
+}
+
+func TestEnabledBiasedSelectsEnabled(t *testing.T) {
+	sys := testSystem(t)
+	cfg := model.NewZeroConfig(sys)
+	cfg.Comm[0][0] = 1 // neighbors of 0 and process 0 become enabled
+	enabled := map[int]bool{}
+	for _, p := range model.EnabledSet(sys, cfg) {
+		enabled[p] = true
+	}
+	if len(enabled) == 0 {
+		t.Fatal("test setup: no process enabled")
+	}
+	sc := NewEnabledBiased(3)
+	for step := 0; step < 100; step++ {
+		for _, p := range sc.Select(step, sys, cfg) {
+			if !enabled[p] {
+				t.Fatalf("enabled-biased selected disabled process %d", p)
+			}
+		}
+	}
+}
+
+func TestEnabledBiasedFallsBackWhenAllDisabled(t *testing.T) {
+	sys := testSystem(t)
+	cfg := model.NewZeroConfig(sys) // everyone disabled
+	sc := NewEnabledBiased(3)
+	sel := sc.Select(0, sys, cfg)
+	validSelection(t, "enabled-biased", sel, sys.N())
+}
+
+func TestLaziestFairWindow(t *testing.T) {
+	// The adversarial daemon must still be fair: every process selected
+	// at least once every n steps.
+	sys := testSystem(t)
+	cfg := model.NewZeroConfig(sys)
+	cfg.Comm[0][0] = 1
+	sc := NewLaziestFair()
+	last := make([]int, sys.N())
+	for i := range last {
+		last[i] = -1
+	}
+	for step := 0; step < 600; step++ {
+		sel := sc.Select(step, sys, cfg)
+		if len(sel) != 1 {
+			t.Fatalf("laziest-fair selected %d processes", len(sel))
+		}
+		p := sel[0]
+		if last[p] >= 0 && step-last[p] > 2*sys.N() {
+			t.Fatalf("process %d starved for %d steps", p, step-last[p])
+		}
+		last[p] = step
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	for _, alias := range []string{"sync", "distributed", "adversarial"} {
+		if _, err := ByName(alias, 1); err != nil {
+			t.Fatalf("alias %q rejected: %v", alias, err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Fatal("confidence interval does not bracket the mean")
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestSummaryBoundsQuick(t *testing.T) {
+	check := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Keep magnitudes sane so the mean cannot overflow.
+				xs = append(xs, math.Mod(x, 1e9))
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P90 <= s.Max && s.P90 >= s.Min
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntsConversion(t *testing.T) {
+	xs := Ints([]int{1, 2, 3})
+	if len(xs) != 3 || xs[2] != 3.0 {
+		t.Fatal("Ints conversion wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost samples: %v", h.Counts)
+	}
+	if h.Lo != 0 || h.Hi != 9 {
+		t.Fatalf("bounds: %v %v", h.Lo, h.Hi)
+	}
+	for _, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("uniform data unevenly binned: %v", h.Counts)
+		}
+	}
+	if empty := NewHistogram(nil, 3); empty.Counts[0] != 0 {
+		t.Fatal("empty histogram")
+	}
+	constant := NewHistogram([]float64{5, 5, 5}, 4)
+	sum := 0
+	for _, c := range constant.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Fatal("constant data lost")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "graph", "rounds", "ratio")
+	tb.AddRow("path-8", 12, 1.5)
+	tb.AddRow("cycle-99", 5, 0.25)
+	out := tb.String()
+	for _, frag := range []string{"demo", "graph", "path-8", "cycle-99", "1.50", "0.25", "---"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("table output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("m", "a", "b")
+	tb.AddRow(1, 2)
+	md := tb.Markdown()
+	if !strings.Contains(md, "### m") || !strings.Contains(md, "| a | b |") ||
+		!strings.Contains(md, "| --- | --- |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Fatalf("markdown wrong:\n%s", md)
+	}
+}

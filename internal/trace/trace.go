@@ -1,0 +1,325 @@
+// Package trace measures the paper's communication-efficiency notions on
+// live executions (Section 3):
+//
+//   - k-efficiency (Def. 4): the maximum number of distinct neighbors any
+//     process reads within a single step;
+//   - communication complexity (Def. 5): the maximum amount of memory (in
+//     bits) a process reads from its neighbors in a single step;
+//   - ♦-(x,k)-stability (Defs. 7-9): the per-process sets R_p of distinct
+//     neighbors read over a computation or over a suffix (MarkSuffix
+//     starts a new suffix, typically at the silence point).
+//
+// Recorder implements model.Observer; attach one to a Simulator and read
+// the Report afterwards.
+package trace
+
+import (
+	"repro/internal/model"
+)
+
+type readKey struct {
+	q    int
+	kind model.VarKind
+	v    int
+}
+
+// Recorder accumulates read/step/move statistics for one execution.
+type Recorder struct {
+	n int
+
+	// Scratch for the step in progress.
+	curReads   map[int]map[int]bool
+	curBitKeys map[int]map[readKey]bool
+	curBitSum  map[int]int
+
+	maxStepReads []int // per process: max distinct neighbors read in one step
+	maxStepBits  []int // per process: max bits read in one step
+
+	everRead   []map[int]bool // R_p over the whole computation
+	suffixRead []map[int]bool // R_p since the last MarkSuffix
+
+	totalBits          int64
+	totalReads         int64 // distinct (process, neighbor) reads summed over steps
+	moves              int64
+	disabledSelections int64
+	selections         int64
+	commWrites         int64
+	steps              int
+	rounds             int
+
+	suffixSteps      int
+	suffixRounds     int
+	suffixBits       int64
+	suffixReads      int64
+	suffixSelections int64
+	suffixMoves      int64
+}
+
+// NewRecorder returns a Recorder for n processes.
+func NewRecorder(n int) *Recorder {
+	r := &Recorder{
+		n:            n,
+		maxStepReads: make([]int, n),
+		maxStepBits:  make([]int, n),
+		everRead:     make([]map[int]bool, n),
+		suffixRead:   make([]map[int]bool, n),
+	}
+	for p := 0; p < n; p++ {
+		r.everRead[p] = make(map[int]bool)
+		r.suffixRead[p] = make(map[int]bool)
+	}
+	return r
+}
+
+var _ model.Observer = (*Recorder)(nil)
+
+// StepBegin implements model.Observer.
+func (r *Recorder) StepBegin(_ int, selected []int) {
+	r.curReads = make(map[int]map[int]bool, len(selected))
+	r.curBitKeys = make(map[int]map[readKey]bool, len(selected))
+	r.curBitSum = make(map[int]int, len(selected))
+	r.selections += int64(len(selected))
+	r.suffixSelections += int64(len(selected))
+}
+
+// Read implements model.Observer.
+func (r *Recorder) Read(_, p, q int, kind model.VarKind, v, bits int) {
+	set := r.curReads[p]
+	if set == nil {
+		set = make(map[int]bool, 2)
+		r.curReads[p] = set
+	}
+	set[q] = true
+
+	keys := r.curBitKeys[p]
+	if keys == nil {
+		keys = make(map[readKey]bool, 4)
+		r.curBitKeys[p] = keys
+	}
+	k := readKey{q: q, kind: kind, v: v}
+	if !keys[k] {
+		keys[k] = true
+		r.curBitSum[p] += bits
+	}
+}
+
+// ActionFired implements model.Observer.
+func (r *Recorder) ActionFired(_, _, a int) {
+	if a >= 0 {
+		r.moves++
+		r.suffixMoves++
+	} else {
+		r.disabledSelections++
+	}
+}
+
+// CommWrite implements model.Observer.
+func (r *Recorder) CommWrite(_, _, _, _, _ int) {
+	r.commWrites++
+}
+
+// StepEnd implements model.Observer.
+func (r *Recorder) StepEnd(_ int, _ []int, roundCompleted bool) {
+	for p, set := range r.curReads {
+		if len(set) > r.maxStepReads[p] {
+			r.maxStepReads[p] = len(set)
+		}
+		r.totalReads += int64(len(set))
+		r.suffixReads += int64(len(set))
+		for q := range set {
+			r.everRead[p][q] = true
+			r.suffixRead[p][q] = true
+		}
+	}
+	for p, bits := range r.curBitSum {
+		if bits > r.maxStepBits[p] {
+			r.maxStepBits[p] = bits
+		}
+		r.totalBits += int64(bits)
+		r.suffixBits += int64(bits)
+	}
+	r.steps++
+	r.suffixSteps++
+	if roundCompleted {
+		r.rounds++
+		r.suffixRounds++
+	}
+}
+
+// MarkSuffix starts a new suffix: the per-process suffix read sets are
+// cleared. Call it at the silence point to measure ♦-(x,k)-stability.
+func (r *Recorder) MarkSuffix() {
+	for p := 0; p < r.n; p++ {
+		r.suffixRead[p] = make(map[int]bool)
+	}
+	r.suffixSteps = 0
+	r.suffixRounds = 0
+	r.suffixBits = 0
+	r.suffixReads = 0
+	r.suffixSelections = 0
+	r.suffixMoves = 0
+}
+
+// Report summarizes a recorded execution.
+type Report struct {
+	// N is the number of processes.
+	N int
+	// Steps and Rounds cover the whole recording.
+	Steps  int
+	Rounds int
+	// Moves is the number of fired actions; DisabledSelections counts
+	// selections of disabled processes; Selections counts all
+	// selections.
+	Moves              int64
+	DisabledSelections int64
+	Selections         int64
+	// CommWrites is the number of communication-variable value changes.
+	CommWrites int64
+	// KEfficiency is the max distinct neighbors any process read in one
+	// step (Def. 4: the protocol behaved k-efficiently for this k).
+	KEfficiency int
+	// CommComplexityBits is the max bits any process read in one step
+	// (Def. 5).
+	CommComplexityBits int
+	// TotalBits is the sum over steps and processes of bits read.
+	TotalBits int64
+	// TotalReads is the sum over steps of distinct neighbors read.
+	TotalReads int64
+	// ReadSetSizes[p] = |R_p| over the whole computation.
+	ReadSetSizes []int
+	// SuffixReadSetSizes[p] = |R_p| over the current suffix.
+	SuffixReadSetSizes []int
+	// SuffixSteps and SuffixRounds cover the current suffix.
+	SuffixSteps  int
+	SuffixRounds int
+	// SuffixTotalBits, SuffixTotalReads, SuffixSelections and
+	// SuffixMoves cover the current suffix; they quantify the
+	// stabilized-phase communication overhead when MarkSuffix was called
+	// at the silence point.
+	SuffixTotalBits  int64
+	SuffixTotalReads int64
+	SuffixSelections int64
+	SuffixMoves      int64
+}
+
+// Report snapshots the current statistics.
+func (r *Recorder) Report() Report {
+	rep := Report{
+		N:                  r.n,
+		Steps:              r.steps,
+		Rounds:             r.rounds,
+		Moves:              r.moves,
+		DisabledSelections: r.disabledSelections,
+		Selections:         r.selections,
+		CommWrites:         r.commWrites,
+		TotalBits:          r.totalBits,
+		TotalReads:         r.totalReads,
+		ReadSetSizes:       make([]int, r.n),
+		SuffixReadSetSizes: make([]int, r.n),
+		SuffixSteps:        r.suffixSteps,
+		SuffixRounds:       r.suffixRounds,
+		SuffixTotalBits:    r.suffixBits,
+		SuffixTotalReads:   r.suffixReads,
+		SuffixSelections:   r.suffixSelections,
+		SuffixMoves:        r.suffixMoves,
+	}
+	for p := 0; p < r.n; p++ {
+		if r.maxStepReads[p] > rep.KEfficiency {
+			rep.KEfficiency = r.maxStepReads[p]
+		}
+		if r.maxStepBits[p] > rep.CommComplexityBits {
+			rep.CommComplexityBits = r.maxStepBits[p]
+		}
+		rep.ReadSetSizes[p] = len(r.everRead[p])
+		rep.SuffixReadSetSizes[p] = len(r.suffixRead[p])
+	}
+	return rep
+}
+
+// StableProcesses returns the number of processes whose suffix read set
+// has size at most k: the x of ♦-(x,k)-stability as witnessed by the
+// recorded suffix.
+func (rep Report) StableProcesses(k int) int {
+	count := 0
+	for _, size := range rep.SuffixReadSetSizes {
+		if size <= k {
+			count++
+		}
+	}
+	return count
+}
+
+// KStable returns the smallest k such that every process's whole-run
+// read set has size at most k (Def. 7 witnessed on this computation).
+func (rep Report) KStable() int {
+	k := 0
+	for _, size := range rep.ReadSetSizes {
+		if size > k {
+			k = size
+		}
+	}
+	return k
+}
+
+// SuffixKStable returns the smallest k such that every process's suffix
+// read set has size at most k (Def. 8 witnessed on this suffix).
+func (rep Report) SuffixKStable() int {
+	k := 0
+	for _, size := range rep.SuffixReadSetSizes {
+		if size > k {
+			k = size
+		}
+	}
+	return k
+}
+
+// AvgBitsPerStep returns TotalBits / Steps (0 when no steps ran).
+func (rep Report) AvgBitsPerStep() float64 {
+	if rep.Steps == 0 {
+		return 0
+	}
+	return float64(rep.TotalBits) / float64(rep.Steps)
+}
+
+// AvgBitsPerSelection returns TotalBits / Selections: the mean
+// communication cost of activating one process once.
+func (rep Report) AvgBitsPerSelection() float64 {
+	if rep.Selections == 0 {
+		return 0
+	}
+	return float64(rep.TotalBits) / float64(rep.Selections)
+}
+
+// SuffixAvgBitsPerSelection returns the mean bits read per selection in
+// the current suffix: the per-activation communication price of the
+// stabilized phase.
+func (rep Report) SuffixAvgBitsPerSelection() float64 {
+	if rep.SuffixSelections == 0 {
+		return 0
+	}
+	return float64(rep.SuffixTotalBits) / float64(rep.SuffixSelections)
+}
+
+// SuffixAvgReadsPerSelection returns the mean distinct-neighbor reads per
+// selection in the current suffix.
+func (rep Report) SuffixAvgReadsPerSelection() float64 {
+	if rep.SuffixSelections == 0 {
+		return 0
+	}
+	return float64(rep.SuffixTotalReads) / float64(rep.SuffixSelections)
+}
+
+// SpaceComplexityBits returns the paper's space complexity (Def. 6) for
+// process p of a system: the local memory (communication + internal
+// variable widths) plus the measured communication complexity.
+func SpaceComplexityBits(sys *model.System, p int, commComplexityBits int) int {
+	total := commComplexityBits
+	spec := sys.Spec()
+	for v := range spec.Comm {
+		total += model.BitsFor(sys.CommDomain(p, v))
+	}
+	for v := range spec.Internal {
+		total += model.BitsFor(sys.InternalDomain(p, v))
+	}
+	return total
+}

@@ -1,0 +1,281 @@
+// Package selfstab is the public API of this reproduction of
+// "Communication Efficiency in Self-stabilizing Silent Protocols"
+// (Devismes, Masuzawa, Tixeuil — INRIA RR-6731 / ICDCS 2009).
+//
+// The package wires together the building blocks under internal/:
+//
+//   - build a network (Generate or any internal/graph constructor);
+//   - instantiate one of the paper's protocols on it (NewColoring,
+//     NewMIS, NewMatching — or a full-read baseline for comparison);
+//   - run it from an adversarial configuration (Run, or RunConcurrent
+//     for the goroutine-per-process runtime);
+//   - read the convergence result and the paper's communication-
+//     efficiency measures off the RunResult (k-efficiency, bits per
+//     step, ♦-(x,1)-stability of the post-silence suffix).
+//
+// Quick start:
+//
+//	net, _ := selfstab.Generate("grid", 16, 1)
+//	sys, _ := selfstab.NewMIS(net)
+//	res, _ := selfstab.Run(sys, selfstab.Options{Seed: 1, SuffixRounds: 64})
+//	fmt.Println(res.Silent, res.Report.KEfficiency, res.Report.StableProcesses(1))
+//
+// The paper's experiments (E1-E15, see DESIGN.md and EXPERIMENTS.md) are
+// runnable through ExperimentIDs and RunExperiment.
+package selfstab
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/concurrent"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocols/bfstree"
+	"repro/internal/protocols/coloring"
+	"repro/internal/protocols/matching"
+	"repro/internal/protocols/mis"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/transformer"
+)
+
+// Network is a connected communication graph together with the local
+// identifiers ("colors") required by the MIS and MATCHING protocols.
+type Network struct {
+	// Graph is the underlying port-numbered graph.
+	Graph *graph.Graph
+	// Colors is a proper distance-1 coloring with values 1..MaxColors
+	// (the paper's communication constants C.p).
+	Colors []int
+	// MaxColors is the palette size (Δ+1 for the greedy coloring).
+	MaxColors int
+}
+
+// NewNetwork wraps a graph, computing greedy local identifiers.
+func NewNetwork(g *graph.Graph) *Network {
+	return &Network{
+		Graph:     g,
+		Colors:    graph.GreedyLocalColoring(g),
+		MaxColors: g.MaxDegree() + 1,
+	}
+}
+
+// Generate builds a named topology (see graph.NamedGenerators for the
+// list: path, cycle, grid, torus, tree, gnp, regular, rgg, spider, ...).
+func Generate(name string, n int, seed uint64) (*Network, error) {
+	g, err := graph.Named(name, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetwork(g), nil
+}
+
+// NewColoring instantiates Protocol COLORING (Figure 7) on the network.
+// The protocol is anonymous: the network's colors are not used.
+func NewColoring(net *Network) (*model.System, error) {
+	return model.NewSystem(net.Graph, coloring.Spec(), nil)
+}
+
+// NewColoringBaseline instantiates the traditional full-read coloring.
+func NewColoringBaseline(net *Network) (*model.System, error) {
+	return model.NewSystem(net.Graph, coloring.BaselineSpec(), nil)
+}
+
+// NewMIS instantiates Protocol MIS (Figure 8) on the locally identified
+// network.
+func NewMIS(net *Network) (*model.System, error) {
+	return mis.NewSystem(net.Graph, mis.Spec(net.MaxColors), net.Colors)
+}
+
+// NewMISBaseline instantiates the full-read MIS baseline.
+func NewMISBaseline(net *Network) (*model.System, error) {
+	return mis.NewSystem(net.Graph, mis.BaselineSpec(net.MaxColors), net.Colors)
+}
+
+// NewMatching instantiates Protocol MATCHING (Figure 10).
+func NewMatching(net *Network) (*model.System, error) {
+	return matching.NewSystem(net.Graph, matching.Spec(net.MaxColors), net.Colors)
+}
+
+// NewMatchingBaseline instantiates the full-read matching baseline
+// (Manne et al. 2007 style).
+func NewMatchingBaseline(net *Network) (*model.System, error) {
+	return matching.NewSystem(net.Graph, matching.BaselineSpec(net.MaxColors), net.Colors)
+}
+
+// NewBFSTree instantiates the classical full-read silent BFS
+// spanning-tree protocol rooted at the given process — the
+// local-checking paradigm whose communication cost the paper improves.
+func NewBFSTree(net *Network, root int) (*model.System, error) {
+	return bfstree.NewSystem(net.Graph, bfstree.Spec(), root)
+}
+
+// NewTransformed applies the local-checking transformer (the paper's
+// Section 6 open question, internal/transformer) to a system's protocol
+// and rebuilds it on the same network with the same constants: the
+// result reads at most one neighbor per step by construction.
+func NewTransformed(sys *model.System) (*model.System, error) {
+	g := sys.Graph()
+	x, err := transformer.Transform(sys.Spec(), g.MaxDegree())
+	if err != nil {
+		return nil, err
+	}
+	var consts [][]int
+	if len(sys.Spec().Const) > 0 {
+		consts = make([][]int, g.N())
+		for p := 0; p < g.N(); p++ {
+			row := make([]int, len(sys.Spec().Const))
+			for v := range row {
+				row[v] = sys.Const(p, v)
+			}
+			consts[p] = row
+		}
+	}
+	return model.NewSystem(g, x, consts)
+}
+
+// Options configures Run.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Scheduler name (see internal/sched.Names; default "random-subset",
+	// the paper's distributed fair scheduler).
+	Scheduler string
+	// MaxSteps bounds the run (default 1_000_000).
+	MaxSteps int
+	// SuffixRounds keeps executing after silence to measure the
+	// stabilized phase (default 0).
+	SuffixRounds int
+	// Initial overrides the adversarial uniform-random initial
+	// configuration.
+	Initial *model.Config
+}
+
+// RunResult re-exports the core result type.
+type RunResult = core.RunResult
+
+// Run executes a system to silence under a fair scheduler, measuring
+// the paper's communication-efficiency notions along the way.
+func Run(sys *model.System, opts Options) (*RunResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Scheduler == "" {
+		opts.Scheduler = "random-subset"
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1_000_000
+	}
+	sc, err := sched.ByName(opts.Scheduler, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	initial := opts.Initial
+	if initial == nil {
+		initial = model.NewRandomConfig(sys, rng.New(opts.Seed))
+	}
+	return core.Run(sys, initial, core.RunOptions{
+		Scheduler:    sc,
+		Seed:         opts.Seed,
+		MaxSteps:     opts.MaxSteps,
+		CheckEvery:   1,
+		SuffixRounds: opts.SuffixRounds,
+		Legitimate:   LegitimacyFor(sys),
+	})
+}
+
+// LegitimacyFor returns the legitimacy predicate matching the system's
+// protocol spec, or nil for unknown specs.
+func LegitimacyFor(sys *model.System) func(*model.System, *model.Config) bool {
+	name := sys.Spec().Name
+	// Transformed specs keep the original communication interface and
+	// legitimacy predicate.
+	name = strings.TrimSuffix(name, "-XFORM")
+	switch name {
+	case "COLORING", "COLORING-FULLREAD", "COLORING-FROZEN":
+		return coloring.IsLegitimate
+	case "MIS", "MIS-FULLREAD", "MIS-FROZEN":
+		return mis.IsLegitimate
+	case "MATCHING", "MATCHING-FROZEN":
+		return matching.IsLegitimate
+	case "MATCHING-FULLREAD":
+		return matching.IsMaximalMatching
+	case "BFSTREE":
+		return bfstree.IsLegitimate
+	default:
+		return nil
+	}
+}
+
+// ConcurrentOptions configures RunConcurrent.
+type ConcurrentOptions struct {
+	// Seed drives protocol randomness (default 1).
+	Seed uint64
+	// Mode is "global", "neighborhood" (default) or "registers".
+	Mode string
+	// MaxStepsPerProcess bounds each goroutine (default 200000).
+	MaxStepsPerProcess int
+}
+
+// ConcurrentResult re-exports the concurrent result type.
+type ConcurrentResult = concurrent.Result
+
+// RunConcurrent executes the system with one goroutine per process.
+func RunConcurrent(sys *model.System, opts ConcurrentOptions) (*ConcurrentResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	var mode concurrent.Mode
+	switch opts.Mode {
+	case "", "neighborhood":
+		mode = concurrent.ModeNeighborhood
+	case "global":
+		mode = concurrent.ModeGlobal
+	case "registers":
+		mode = concurrent.ModeRegisters
+	default:
+		return nil, fmt.Errorf("selfstab: unknown concurrency mode %q", opts.Mode)
+	}
+	if opts.MaxStepsPerProcess <= 0 {
+		opts.MaxStepsPerProcess = 200000
+	}
+	initial := model.NewRandomConfig(sys, rng.New(opts.Seed))
+	return concurrent.Run(sys, initial, concurrent.Options{
+		Mode:               mode,
+		Seed:               opts.Seed,
+		MaxStepsPerProcess: opts.MaxStepsPerProcess,
+		Legitimate:         LegitimacyFor(sys),
+	})
+}
+
+// Colors decodes the (1-based) color vector of a COLORING configuration.
+func Colors(cfg *model.Config) []int { return coloring.Colors(cfg) }
+
+// InMIS decodes the MIS membership vector of an MIS configuration.
+func InMIS(cfg *model.Config) []bool { return mis.InMIS(cfg) }
+
+// MatchedEdges decodes the matched edge set of a MATCHING configuration.
+func MatchedEdges(sys *model.System, cfg *model.Config) [][2]int {
+	return matching.MatchedEdges(sys, cfg)
+}
+
+// ExperimentIDs lists the experiment identifiers E1..E15.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// ExperimentConfig re-exports the experiment configuration.
+type ExperimentConfig = experiment.Config
+
+// ExperimentResult re-exports the experiment result.
+type ExperimentResult = experiment.Result
+
+// RunExperiment executes one of the paper's experiments by id.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
+	run, err := experiment.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return run(cfg)
+}
