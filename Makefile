@@ -1,0 +1,29 @@
+# Local workflows and CI invoke identical commands through these targets.
+
+GO ?= go
+
+.PHONY: build test test-race bench fmt vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short -timeout 10m ./...
+
+test-race:
+	$(GO) test -race -short -timeout 10m ./...
+
+# Full (non-short) suite: what the tier-1 verify runs.
+test-full:
+	$(GO) test -timeout 20m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: build vet fmt test

@@ -1,19 +1,43 @@
 // Benchmarks regenerating every paper artifact (one benchmark per
 // experiment E1-E12, see DESIGN.md for the artifact index), plus
-// convergence micro-benchmarks per protocol and network size.
+// convergence micro-benchmarks per protocol and network size, engine
+// micro-benchmarks, and before/after benchmarks for the parallel trial
+// pool and the incremental silence detector.
 //
 // Run: go test -bench=. -benchmem
+// -short shrinks trials and graph sizes for CI smoke runs.
 package selfstab
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiment"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/trace"
 )
+
+// benchSizes returns the convergence benchmark network sizes, shrunk
+// under -short.
+func benchSizes() []int {
+	if testing.Short() {
+		return []int{8, 16}
+	}
+	return []int{8, 16, 32}
+}
+
+// benchTrials returns the per-cell trial count for experiment
+// benchmarks, shrunk under -short.
+func benchTrials() int {
+	if testing.Short() {
+		return 1
+	}
+	return 2
+}
 
 // benchExperiment runs one experiment per iteration on the quick suite
 // and fails the benchmark if the paper claim check fails.
@@ -26,7 +50,7 @@ func benchExperiment(b *testing.B, id string) {
 	for i := 0; i < b.N; i++ {
 		res, err := run(experiment.Config{
 			Seed:     uint64(i) + 1,
-			Trials:   2,
+			Trials:   benchTrials(),
 			MaxSteps: 500000,
 			Quick:    true,
 		})
@@ -83,7 +107,7 @@ func benchProtocol(b *testing.B, build func(*Network) (*model.System, error), to
 }
 
 func BenchmarkColoringConvergence(b *testing.B) {
-	for _, n := range []int{8, 16, 32} {
+	for _, n := range benchSizes() {
 		b.Run(fmt.Sprintf("gnp-%d", n), func(b *testing.B) {
 			benchProtocol(b, NewColoring, "gnp", n)
 		})
@@ -91,7 +115,7 @@ func BenchmarkColoringConvergence(b *testing.B) {
 }
 
 func BenchmarkMISConvergence(b *testing.B) {
-	for _, n := range []int{8, 16, 32} {
+	for _, n := range benchSizes() {
 		b.Run(fmt.Sprintf("gnp-%d", n), func(b *testing.B) {
 			benchProtocol(b, NewMIS, "gnp", n)
 		})
@@ -99,10 +123,122 @@ func BenchmarkMISConvergence(b *testing.B) {
 }
 
 func BenchmarkMatchingConvergence(b *testing.B) {
-	for _, n := range []int{8, 16, 32} {
+	for _, n := range benchSizes() {
 		b.Run(fmt.Sprintf("gnp-%d", n), func(b *testing.B) {
 			benchProtocol(b, NewMatching, "gnp", n)
 		})
+	}
+}
+
+// Before/after benchmarks for the two engine changes of the parallel
+// sharded pool PR.
+
+// BenchmarkTrialPool measures the experiment registry's trial engine at
+// Parallelism 1 (the old sequential behaviour) versus GOMAXPROCS. The
+// output tables are byte-identical; only wall-clock differs.
+func BenchmarkTrialPool(b *testing.B) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.E1ColoringConvergence(experiment.Config{
+					Seed:        1,
+					Trials:      benchTrials() * 2,
+					MaxSteps:    500000,
+					Quick:       testing.Short(),
+					Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Pass {
+					b.Fatal("E1 failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSilenceDetection compares the incremental dirty-set silence
+// check that RunUntilSilent now uses against the old behaviour of
+// re-deciding CommSilent from scratch every step.
+func BenchmarkSilenceDetection(b *testing.B) {
+	n := 32
+	if testing.Short() {
+		n = 16
+	}
+	net, err := Generate("gnp", n, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewMIS(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := model.NewRandomConfig(sys, rng.New(uint64(i)+1))
+			sim, err := model.NewSimulator(sys, cfg, sched.NewRandomSubset(uint64(i)+1), uint64(i)+1, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			silent, err := sim.RunUntilSilent(2_000_000, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !silent {
+				b.Fatal("no silence")
+			}
+		}
+	})
+	b.Run("full-rescan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := model.NewRandomConfig(sys, rng.New(uint64(i)+1))
+			sim, err := model.NewSimulator(sys, cfg, sched.NewRandomSubset(uint64(i)+1), uint64(i)+1, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			silent := false
+			for step := 0; step < 2_000_000; step++ {
+				s, err := model.CommSilent(sys, sim.Config())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s {
+					silent = true
+					break
+				}
+				sim.Step()
+			}
+			if !silent {
+				b.Fatal("no silence")
+			}
+		}
+	})
+}
+
+// BenchmarkRecorderStep measures the per-step observer cost of the
+// bitset-backed trace recorder (the old recorder allocated three maps
+// per step).
+func BenchmarkRecorderStep(b *testing.B) {
+	net, err := Generate("torus", 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewMIS(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := model.NewRandomConfig(sys, rng.New(1))
+	rec := trace.NewRecorder(sys.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selected := []int{i % sys.N()}
+		rec.StepBegin(i, selected)
+		model.ExecuteStep(sys, cfg, selected, i, nil, rec)
+		rec.StepEnd(i, selected, false)
 	}
 }
 

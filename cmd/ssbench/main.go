@@ -8,6 +8,11 @@
 //	ssbench -run E3,E5           # selected experiments
 //	ssbench -markdown            # markdown output (EXPERIMENTS.md body)
 //	ssbench -quick -trials 2     # fast pass
+//	ssbench -parallelism 1       # sequential pool (identical tables)
+//	ssbench -time                # per-experiment wall clock on stderr
+//
+// Trials run on the parallel sharded pool of internal/experiment; for a
+// fixed -seed the tables are byte-identical for every -parallelism.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiment"
 )
@@ -30,12 +36,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
 	var (
-		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: all)")
-		seed     = fs.Uint64("seed", 2009, "master seed")
-		trials   = fs.Int("trials", 5, "adversarial initial configurations per cell")
-		maxSteps = fs.Int("max-steps", 1_000_000, "per-run step budget")
-		quick    = fs.Bool("quick", false, "small graph suite")
-		markdown = fs.Bool("markdown", false, "emit markdown tables")
+		runIDs      = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		seed        = fs.Uint64("seed", 2009, "master seed")
+		trials      = fs.Int("trials", 5, "adversarial initial configurations per cell")
+		maxSteps    = fs.Int("max-steps", 1_000_000, "per-run step budget")
+		quick       = fs.Bool("quick", false, "small graph suite")
+		markdown    = fs.Bool("markdown", false, "emit markdown tables")
+		parallelism = fs.Int("parallelism", 0, "trial pool workers (0: GOMAXPROCS; results are identical for every value)")
+		timeIt      = fs.Bool("time", false, "report per-experiment wall clock on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,10 +54,11 @@ func run(args []string, out io.Writer) error {
 		ids = strings.Split(*runIDs, ",")
 	}
 	cfg := experiment.Config{
-		Seed:     *seed,
-		Trials:   *trials,
-		MaxSteps: *maxSteps,
-		Quick:    *quick,
+		Seed:        *seed,
+		Trials:      *trials,
+		MaxSteps:    *maxSteps,
+		Quick:       *quick,
+		Parallelism: *parallelism,
 	}
 
 	allPass := true
@@ -59,9 +68,13 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		started := time.Now()
 		res, err := runner(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *timeIt {
+			fmt.Fprintf(os.Stderr, "%s\t%.3fs\n", id, time.Since(started).Seconds())
 		}
 		allPass = allPass && res.Pass
 		if *markdown {

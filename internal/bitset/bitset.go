@@ -1,0 +1,91 @@
+// Package bitset provides a fixed-capacity bitset used by the hot paths
+// of the simulator: per-process read sets in the trace recorder and the
+// dirty sets of the incremental silence checker. Stdlib only.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity set of small non-negative integers. The zero
+// value is an empty set of capacity 0; use New to size it.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set holding values in [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity n the set was created with.
+func (s *Set) Cap() int { return s.n }
+
+// Add inserts i and reports whether it was newly added.
+func (s *Set) Add(i int) bool {
+	w, b := i/64, uint64(1)<<(i%64)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	return true
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.words[i/64] &^= uint64(1) << (i % 64)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	return s.words[i/64]&(uint64(1)<<(i%64)) != 0
+}
+
+// Count returns the number of elements.
+func (s *Set) Count() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionInto ors the receiver's elements into dst (capacities must match).
+func (s *Set) UnionInto(dst *Set) {
+	for i, w := range s.words {
+		dst.words[i] |= w
+	}
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elems appends the elements in ascending order to buf and returns it.
+func (s *Set) Elems(buf []int) []int {
+	s.ForEach(func(i int) { buf = append(buf, i) })
+	return buf
+}

@@ -1,0 +1,73 @@
+package bitset
+
+import (
+	"testing"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	t.Parallel()
+	s := New(130)
+	if !s.Empty() || s.Count() != 0 || s.Cap() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if !s.Add(i) {
+			t.Fatalf("Add(%d) reported already present", i)
+		}
+		if s.Add(i) {
+			t.Fatalf("second Add(%d) reported newly added", i)
+		}
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 7 {
+		t.Fatal("Remove(64) did not remove")
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left elements")
+	}
+}
+
+func TestForEachAndElems(t *testing.T) {
+	t.Parallel()
+	s := New(200)
+	want := []int{3, 64, 70, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Elems(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnionInto(t *testing.T) {
+	t.Parallel()
+	a, b := New(100), New(100)
+	a.Add(1)
+	a.Add(99)
+	b.Add(2)
+	a.UnionInto(b)
+	for _, i := range []int{1, 2, 99} {
+		if !b.Has(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if b.Count() != 3 {
+		t.Fatalf("union Count = %d, want 3", b.Count())
+	}
+	if !a.Has(1) || a.Count() != 2 {
+		t.Fatal("UnionInto mutated the receiver")
+	}
+}

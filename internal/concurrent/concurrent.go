@@ -24,6 +24,7 @@ package concurrent
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,6 +186,13 @@ func Run(sys *model.System, cfg0 *model.Config, opts Options) (*Result, error) {
 				totalSteps.Add(1)
 				if fired >= 0 {
 					moves.Add(1)
+					// Hand the core on after every move: without an
+					// explicit yield one goroutine can monopolize an OS
+					// core between preemption points, and the effective
+					// daemon becomes unboundedly unfair — outside the
+					// fairness assumptions of the convergence theorems
+					// (observable as proposal livelock in MATCHING).
+					runtime.Gosched()
 				} else {
 					// Disabled: yield so enabled processes progress.
 					time.Sleep(time.Duration(1+r.Intn(50)) * time.Microsecond)

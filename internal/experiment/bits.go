@@ -3,9 +3,8 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/graph"
+	"repro/internal/core"
 	"repro/internal/model"
-	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -20,27 +19,30 @@ func E2CommunicationBits(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A post-silence suffix of 2 rounds guarantees every process — in
+	// particular one of degree Δ — is selected at least twice while
+	// measuring (a run can otherwise reach silence before the max-degree
+	// process ever evaluates a guard).
+	var specs []ProtoCell
+	for _, g := range graphs {
+		specs = append(specs,
+			ProtoCell{Graph: g, Family: FamColoring, SuffixRounds: 2},
+			ProtoCell{Graph: g, Family: FamColoringBaseline, SuffixRounds: 2})
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	table := stats.NewTable("E2: communication & space complexity (Section 3.2)",
 		"graph", "Δ", "log(Δ+1)", "eff bits/step", "Δ·log(Δ+1)", "base bits/step",
 		"space bits (max p)", "theory space", "ok")
 	pass := true
-	for _, g := range graphs {
+	for i, g := range graphs {
 		perColor := model.BitsFor(g.MaxDegree() + 1)
 		wantEff := perColor
 		wantBase := g.MaxDegree() * perColor
 
-		// A post-silence suffix of 2 rounds guarantees every process —
-		// in particular one of degree Δ — is selected at least twice
-		// while measuring (a run can otherwise reach silence before the
-		// max-degree process ever evaluates a guard).
-		eff, err := runCell(cfg, g, FamColoring, defaultSched, 2)
-		if err != nil {
-			return nil, err
-		}
-		base, err := runCell(cfg, g, FamColoringBaseline, defaultSched, 2)
-		if err != nil {
-			return nil, err
-		}
+		eff, base := cells[2*i], cells[2*i+1]
 		maxEffBits, maxBaseBits := 0, 0
 		for _, r := range eff {
 			if r.Report.CommComplexityBits > maxEffBits {
@@ -102,20 +104,36 @@ func E10StabilizedOverhead(cfg Config) (*Result, error) {
 		{FamMIS, FamMISBaseline},
 		{FamMatching, FamMatchingBaseline},
 	}
+	var specs []ProtoCell
+	for _, g := range graphs {
+		for _, pair := range pairs {
+			for _, family := range pair {
+				specs = append(specs, ProtoCell{
+					Graph: g, Family: family, SuffixRounds: 4 * g.N(),
+				})
+			}
+		}
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	table := stats.NewTable("E10: stabilized-phase communication overhead (Section 1 motivation)",
 		"graph", "protocol", "eff reads/sel", "base reads/sel", "eff bits/sel",
 		"base bits/sel", "saving", "ok")
 	pass := true
+	idx := 0
 	for _, g := range graphs {
 		for _, pair := range pairs {
-			effReads, effBits, err := suffixOverhead(cfg, g, pair[0])
+			effReads, effBits, err := suffixOverhead(cells[idx], pair[0], g.Name())
 			if err != nil {
 				return nil, err
 			}
-			baseReads, baseBits, err := suffixOverhead(cfg, g, pair[1])
+			baseReads, baseBits, err := suffixOverhead(cells[idx+1], pair[1], g.Name())
 			if err != nil {
 				return nil, err
 			}
+			idx += 2
 			// Star graphs aside, the baseline must read strictly more
 			// than the efficient protocol once stabilized (every
 			// selection of a degree>1 process reads all its neighbors).
@@ -140,19 +158,13 @@ func E10StabilizedOverhead(cfg Config) (*Result, error) {
 	}, nil
 }
 
-// suffixOverhead runs one protocol family on g and returns the mean
-// distinct-neighbor reads and bits per selection over a 4n-round
-// post-silence suffix, maximized over trials.
-func suffixOverhead(cfg Config, g *graph.Graph, family string) (reads, bits float64, err error) {
-	results, err := runCell(cfg, g, family, func(s uint64) model.Scheduler {
-		return sched.NewRandomSubset(s)
-	}, 4*g.N())
-	if err != nil {
-		return 0, 0, err
-	}
+// suffixOverhead reduces one cell's trials to the mean distinct-neighbor
+// reads and bits per selection over the post-silence suffix, maximized
+// over trials.
+func suffixOverhead(results []*core.RunResult, family, graphName string) (reads, bits float64, err error) {
 	for _, r := range results {
 		if !r.Silent {
-			return 0, 0, fmt.Errorf("experiment: %s on %s did not stabilize", family, g)
+			return 0, 0, fmt.Errorf("experiment: %s on %s did not stabilize", family, graphName)
 		}
 		if v := r.Report.SuffixAvgReadsPerSelection(); v > reads {
 			reads = v

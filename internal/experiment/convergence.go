@@ -21,15 +21,20 @@ func E1ColoringConvergence(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	specs := make([]ProtoCell, len(graphs))
+	for i, g := range graphs {
+		specs[i] = ProtoCell{Graph: g, Family: FamColoring}
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	table := stats.NewTable("E1: Protocol COLORING convergence (Theorem 3)",
 		"graph", "n", "m", "Δ", "trials", "converged", "legit", "k-eff",
 		"mean steps", "max rounds")
 	pass := true
-	for _, g := range graphs {
-		results, err := runCell(cfg, g, FamColoring, defaultSched, 0)
-		if err != nil {
-			return nil, err
-		}
+	for i, g := range graphs {
+		results := cells[i]
 		agg := core.Aggregate(results)
 		var steps []float64
 		for _, r := range results {
@@ -95,23 +100,47 @@ type roundBoundSpec struct {
 	boundName                  string
 }
 
+// namedScheduler pairs a scheduler factory with the stable name used in
+// cell keys.
+type namedScheduler struct {
+	name string
+	mk   func(uint64) model.Scheduler
+}
+
+func boundSchedulers() []namedScheduler {
+	return []namedScheduler{
+		{"synchronous", func(uint64) model.Scheduler { return sched.Synchronous{} }},
+		{"central-rr", func(uint64) model.Scheduler { return sched.CentralRoundRobin{} }},
+		{"random-subset", func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }},
+		{"laziest-fair", func(uint64) model.Scheduler { return sched.NewLaziestFair() }},
+	}
+}
+
 func roundBoundExperiment(cfg Config, spec roundBoundSpec) (*Result, error) {
 	graphs, err := suite(cfg)
 	if err != nil {
 		return nil, err
 	}
-	schedulers := []func(uint64) model.Scheduler{
-		func(uint64) model.Scheduler { return sched.Synchronous{} },
-		func(uint64) model.Scheduler { return sched.CentralRoundRobin{} },
-		func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) },
-		func(uint64) model.Scheduler { return sched.NewLaziestFair() },
+	schedulers := boundSchedulers()
+	var specs []ProtoCell
+	for _, g := range graphs {
+		for _, sc := range schedulers {
+			specs = append(specs, ProtoCell{
+				Graph: g, Family: spec.family,
+				Sched: sc.mk, SchedName: sc.name,
+			})
+		}
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
 	}
 	table := stats.NewTable(
 		fmt.Sprintf("%s: %s (%s)", spec.id, spec.title, spec.paperRef),
 		"graph", "n", "Δ", "bound "+spec.boundName, "max rounds", "mean rounds",
 		"converged", "within bound")
 	pass := true
-	for _, g := range graphs {
+	for gi, g := range graphs {
 		sys, _, err := protocolSystem(g, spec.family)
 		if err != nil {
 			return nil, err
@@ -119,12 +148,8 @@ func roundBoundExperiment(cfg Config, spec roundBoundSpec) (*Result, error) {
 		bound := spec.bound(sys)
 		maxRounds, converged, runs := 0, 0, 0
 		var rounds []float64
-		for _, mk := range schedulers {
-			results, err := runCell(cfg, g, spec.family, mk, 0)
-			if err != nil {
-				return nil, err
-			}
-			for _, r := range results {
+		for si := range schedulers {
+			for _, r := range cells[gi*len(schedulers)+si] {
 				runs++
 				if r.Silent {
 					converged++
@@ -164,23 +189,35 @@ func E11SchedulerRobustness(cfg Config) (*Result, error) {
 	}
 	// A medium graph keeps the cross product manageable.
 	g := graphs[len(graphs)/2]
+	families := []string{FamColoring, FamMIS, FamMatching}
+	names := sched.Names()
+	var specs []ProtoCell
+	for _, family := range families {
+		for _, name := range names {
+			name := name
+			specs = append(specs, ProtoCell{
+				Graph: g, Family: family,
+				SchedName: name,
+				Sched: func(s uint64) model.Scheduler {
+					sc, err := sched.ByName(name, s)
+					if err != nil {
+						panic(err)
+					}
+					return sc
+				},
+			})
+		}
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	table := stats.NewTable("E11: convergence under every scheduler (Section 2 model)",
 		"protocol", "scheduler", "converged", "legit", "max rounds")
 	pass := true
-	for _, family := range []string{FamColoring, FamMIS, FamMatching} {
-		for _, name := range sched.Names() {
-			name := name
-			results, err := runCell(cfg, g, family, func(s uint64) model.Scheduler {
-				sc, err := sched.ByName(name, s)
-				if err != nil {
-					panic(err)
-				}
-				return sc
-			}, 0)
-			if err != nil {
-				return nil, err
-			}
-			agg := core.Aggregate(results)
+	for fi, family := range families {
+		for ni, name := range names {
+			agg := core.Aggregate(cells[fi*len(names)+ni])
 			ok := agg.Converged == agg.Runs && agg.LegitimateAll
 			pass = pass && ok
 			table.AddRow(family, name, fmt.Sprintf("%d/%d", agg.Converged, agg.Runs),

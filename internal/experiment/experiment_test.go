@@ -6,10 +6,15 @@ import (
 )
 
 func quickCfg() Config {
-	return Config{Seed: 42, Trials: 2, MaxSteps: 400000, Quick: true}
+	cfg := Config{Seed: 42, Trials: 2, MaxSteps: 400000, Quick: true}
+	if testing.Short() {
+		cfg.Trials = 1
+	}
+	return cfg
 }
 
 func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
 	ids := IDs()
 	if len(ids) != 15 {
 		t.Fatalf("registry has %d experiments, want 15", len(ids))
@@ -30,6 +35,7 @@ func itoa(i int) string {
 }
 
 func TestByID(t *testing.T) {
+	t.Parallel()
 	if _, err := ByID("E1"); err != nil {
 		t.Fatal(err)
 	}
@@ -45,6 +51,11 @@ func TestAllExperimentsPassQuick(t *testing.T) {
 	for _, e := range Registry() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			if e.ID != "E12" {
+				// E12 is the wall-clock-sensitive goroutine runtime; it
+				// runs alone so concurrent subtests cannot starve it.
+				t.Parallel()
+			}
 			res, err := e.Run(cfg)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
@@ -70,6 +81,7 @@ func TestAllExperimentsPassQuick(t *testing.T) {
 }
 
 func TestSuiteSizes(t *testing.T) {
+	t.Parallel()
 	q, err := suite(Config{Seed: 1, Quick: true})
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +101,7 @@ func TestSuiteSizes(t *testing.T) {
 }
 
 func TestProtocolSystemFamilies(t *testing.T) {
+	t.Parallel()
 	graphs, err := suite(Config{Seed: 2, Quick: true})
 	if err != nil {
 		t.Fatal(err)

@@ -3,13 +3,21 @@
 // an experiment (E1-E15, indexed in DESIGN.md) producing a table that
 // EXPERIMENTS.md records, together with a pass flag stating whether the
 // measured data is consistent with the paper's claim.
+//
+// Trials run on a parallel sharded worker pool (see pool.go). The engine
+// is deterministic: per-trial seeds are derived from (Config.Seed, cell
+// key, trial index) alone, never from scheduling order, so for a fixed
+// Seed every pool-driven experiment table is byte-identical across
+// Parallelism values — Parallelism: 1 reproduces fully sequential
+// execution. The one exception is E12, whose goroutine-per-process
+// runtime is wall-clock-dependent by design and varies run to run.
 package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/rng"
@@ -28,6 +36,10 @@ type Config struct {
 	MaxSteps int
 	// Quick shrinks the graph suite for benchmark iterations.
 	Quick bool
+	// Parallelism is the number of worker goroutines the trial pool uses
+	// (default runtime.GOMAXPROCS(0)). Results are identical for every
+	// value; see the package documentation.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -36,6 +48,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 1_000_000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -170,31 +185,6 @@ type builder func(*graph.Graph) (*model.System, func(*model.System, *model.Confi
 
 var builders = map[string]builder{}
 
-// runCell executes Trials adversarial runs of one protocol family on one
-// graph under one scheduler and aggregates.
-func runCell(cfg Config, g *graph.Graph, family string, mkSched func(uint64) model.Scheduler, suffixRounds int) ([]*core.RunResult, error) {
-	sys, legit, err := protocolSystem(g, family)
-	if err != nil {
-		return nil, err
-	}
-	var results []*core.RunResult
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := rng.Derive(cfg.Seed, uint64(trial)<<16+uint64(len(results)))
-		initial := model.NewRandomConfig(sys, rng.New(seed))
-		res, err := core.Run(sys, initial, core.RunOptions{
-			Scheduler:    mkSched(seed),
-			Seed:         seed,
-			MaxSteps:     cfg.MaxSteps,
-			CheckEvery:   1,
-			SuffixRounds: suffixRounds,
-			Legitimate:   legit,
-		})
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
-	}
-	return results, nil
-}
+const defaultSchedName = "random-subset"
 
 func defaultSched(seed uint64) model.Scheduler { return sched.NewRandomSubset(seed) }

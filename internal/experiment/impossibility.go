@@ -48,11 +48,12 @@ func E7TheoremOne(cfg Config) (*Result, error) {
 	}
 	demos = append(demos, stitched)
 
-	for _, d := range demos {
-		out, err := d.Check(rng.DeriveString(cfg.Seed, d.Name), cfg.MaxSteps)
-		if err != nil {
-			return nil, err
-		}
+	outs, err := checkDemos(cfg, demos)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range demos {
+		out := outs[i]
 		ok := out.FrozenImpossible && !out.RealSilent && out.RealRecovers
 		pass = pass && ok
 		table.AddRow(d.Name, d.Frozen.Graph().Name(), out.FrozenSilent, out.Illegitimate,
@@ -87,11 +88,13 @@ func E8TheoremTwo(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range []*verify.Demo{hand, stitched} {
-		out, err := d.Check(rng.DeriveString(cfg.Seed, d.Name), cfg.MaxSteps)
-		if err != nil {
-			return nil, err
-		}
+	demos := []*verify.Demo{hand, stitched}
+	outs, err := checkDemos(cfg, demos)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range demos {
+		out := outs[i]
 		ok := out.FrozenImpossible && !out.RealSilent && out.RealRecovers
 		pass = pass && ok
 		table.AddRow(d.Name, d.Frozen.Graph().Name(), out.FrozenSilent, out.Illegitimate,
@@ -106,6 +109,26 @@ func E8TheoremTwo(cfg Config) (*Result, error) {
 		Pass:     pass,
 		Notes:    "the dag-orientation is the color orientation of Theorem 4; the root is p1",
 	}, nil
+}
+
+// checkDemos fans the independent Demo checks of E7/E8 out across the
+// worker pool. Each demo's seed derives from its name, so the outcome
+// vector is independent of Parallelism.
+func checkDemos(cfg Config, demos []*verify.Demo) ([]verify.Outcome, error) {
+	cfg = cfg.withDefaults()
+	outs := make([]verify.Outcome, len(demos))
+	err := forEach(cfg.Parallelism, len(demos), func(i int) error {
+		out, err := demos[i].Check(rng.DeriveString(cfg.Seed, demos[i].Name), cfg.MaxSteps)
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
 }
 
 // E9DagOrientation reproduces Theorem 4: orienting every edge toward the

@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// This file implements the parallel sharded trial engine. Every
+// experiment cell — one protocol family on one graph under one scheduler
+// — expands into Config.Trials independent trial jobs that a worker pool
+// executes across Config.Parallelism goroutines.
+//
+// Determinism: the seed of trial t of a cell is
+//
+//	rng.Derive(rng.DeriveString(Config.Seed, cell.Key), t)
+//
+// a pure function of the master seed, the cell key and the trial index.
+// No seed depends on scheduling order, and results land in a
+// position-indexed matrix, so the output is byte-identical for every
+// Parallelism value (1 reproduces fully sequential execution).
+
+// Cell is one unit of the experiment grid: a stable key used for seed
+// derivation plus the function executing one adversarial trial. Run must
+// be safe for concurrent invocation (systems and graphs are immutable
+// after construction; each trial builds its own configuration, scheduler
+// and recorder).
+type Cell struct {
+	// Key identifies the cell in the experiment grid; distinct cells of
+	// one RunCells call must use distinct keys or they will share trial
+	// seeds.
+	Key string
+	// Run executes trial `trial` with the derived seed.
+	Run func(trial int, seed uint64) (*core.RunResult, error)
+}
+
+// RunCells executes cfg.Trials trials of every cell on the worker pool
+// and returns the results indexed [cell][trial].
+func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
+	cfg = cfg.withDefaults()
+	out := make([][]*core.RunResult, len(cells))
+	for i := range out {
+		out[i] = make([]*core.RunResult, cfg.Trials)
+	}
+	cellSeeds := make([]uint64, len(cells))
+	for i, c := range cells {
+		cellSeeds[i] = rng.DeriveString(cfg.Seed, c.Key)
+	}
+	err := forEach(cfg.Parallelism, len(cells)*cfg.Trials, func(j int) error {
+		cell, trial := j/cfg.Trials, j%cfg.Trials
+		res, err := cells[cell].Run(trial, rng.Derive(cellSeeds[cell], uint64(trial)))
+		if err != nil {
+			return fmt.Errorf("cell %q trial %d: %w", cells[cell].Key, trial, err)
+		}
+		out[cell][trial] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ProtoCell describes a (graph, protocol family, scheduler) cell for
+// RunProtoCells.
+type ProtoCell struct {
+	Graph  *graph.Graph
+	Family string
+	// Sched builds the trial's scheduler from the trial seed (nil →
+	// defaultSched). SchedName must name it when Sched is non-nil, so the
+	// cell key stays stable.
+	Sched     func(uint64) model.Scheduler
+	SchedName string
+	// SuffixRounds keeps the run going after silence (see core.RunOptions).
+	SuffixRounds int
+}
+
+// RunProtoCells builds each cell's system once and fans all trials out
+// across the pool: the workhorse behind the per-graph loops of E1-E15.
+func RunProtoCells(cfg Config, specs []ProtoCell) ([][]*core.RunResult, error) {
+	cfg = cfg.withDefaults()
+	cells := make([]Cell, len(specs))
+	for i, sp := range specs {
+		sys, legit, err := protocolSystem(sp.Graph, sp.Family)
+		if err != nil {
+			return nil, err
+		}
+		mkSched, schedName := sp.Sched, sp.SchedName
+		if mkSched == nil {
+			mkSched, schedName = defaultSched, defaultSchedName
+		}
+		suffix := sp.SuffixRounds
+		cells[i] = Cell{
+			Key: fmt.Sprintf("%s|%s|%s|%d", sp.Graph.Name(), sp.Family, schedName, suffix),
+			Run: func(trial int, seed uint64) (*core.RunResult, error) {
+				initial := model.NewRandomConfig(sys, rng.New(seed))
+				return core.Run(sys, initial, core.RunOptions{
+					Scheduler:    mkSched(seed),
+					Seed:         seed,
+					MaxSteps:     cfg.MaxSteps,
+					CheckEvery:   1,
+					SuffixRounds: suffix,
+					Legitimate:   legit,
+				})
+			},
+		}
+	}
+	return RunCells(cfg, cells)
+}
+
+// forEach runs fn(0..n-1) on up to `workers` goroutines (<=0 selects
+// GOMAXPROCS). After the first error, idle workers stop picking up new
+// jobs; in-flight jobs run to completion. Among the errors observed, the
+// one with the lowest job index is returned.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

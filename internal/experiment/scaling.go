@@ -24,13 +24,28 @@ func E14ScalingCurves(cfg Config) (*Result, error) {
 	if cfg.Quick {
 		sizes = []int{8, 16}
 	}
+	families := []string{FamColoring, FamMIS, FamMatching}
+	sizeGraphs := make([]*graph.Graph, len(sizes))
+	for i, n := range sizes {
+		r := rng.New(rng.Derive(cfg.Seed, uint64(n)))
+		sizeGraphs[i] = graph.RandomConnectedGNP(n, 4.0/float64(n), r)
+	}
+	var specs []ProtoCell
+	for _, family := range families {
+		for _, g := range sizeGraphs {
+			specs = append(specs, ProtoCell{Graph: g, Family: family})
+		}
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	table := stats.NewTable("E14: convergence scaling (rounds vs n)",
 		"protocol", "n", "Δ", "mean rounds", "max rounds", "bound", "within")
 	pass := true
-	for _, family := range []string{FamColoring, FamMIS, FamMatching} {
-		for _, n := range sizes {
-			r := rng.New(rng.Derive(cfg.Seed, uint64(n)))
-			g := graph.RandomConnectedGNP(n, 4.0/float64(n), r)
+	for fi, family := range families {
+		for si, n := range sizes {
+			g := sizeGraphs[si]
 			sys, _, err := protocolSystem(g, family)
 			if err != nil {
 				return nil, err
@@ -44,10 +59,7 @@ func E14ScalingCurves(cfg Config) (*Result, error) {
 			default:
 				haveBound = false // COLORING's convergence is probabilistic
 			}
-			results, err := runCell(cfg, g, family, defaultSched, 0)
-			if err != nil {
-				return nil, err
-			}
+			results := cells[fi*len(sizes)+si]
 			agg := core.Aggregate(results)
 			var rounds []float64
 			for _, res := range results {
@@ -91,21 +103,29 @@ func E15FaultContainment(cfg Config) (*Result, error) {
 	}
 	g := graphs[len(graphs)/3]
 	faultFractions := []float64{0.1, 0.25, 0.5, 1.0}
-	table := stats.NewTable("E15: recovery rounds after k-process corruption",
-		"protocol", "graph", "faults", "recovered", "mean rounds", "max rounds")
-	pass := true
-	for _, family := range []string{FamColoring, FamMIS, FamMatching} {
-		sys, legit, err := protocolSystem(g, family)
-		if err != nil {
-			return nil, err
-		}
-		// Reach a legitimate silent configuration once.
-		base, err := runCell(cfg, g, family, defaultSched, 0)
-		if err != nil {
-			return nil, err
-		}
+	families := []string{FamColoring, FamMIS, FamMatching}
+
+	// Phase 1: reach one legitimate silent configuration per family.
+	baseSpecs := make([]ProtoCell, len(families))
+	for i, family := range families {
+		baseSpecs[i] = ProtoCell{Graph: g, Family: family}
+	}
+	baseCells, err := RunProtoCells(cfg, baseSpecs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the fault grid — every (family, fault-size) cell corrupts
+	// the silent configuration per trial and re-runs to silence.
+	type faultCell struct {
+		family string
+		k      int
+	}
+	var grid []faultCell
+	var cells []Cell
+	for fi, family := range families {
 		var silentCfg *model.Config
-		for _, r := range base {
+		for _, r := range baseCells[fi] {
 			if r.Silent && r.LegitimateAtSilence {
 				silentCfg = r.Final
 				break
@@ -114,51 +134,68 @@ func E15FaultContainment(cfg Config) (*Result, error) {
 		if silentCfg == nil {
 			return nil, fmt.Errorf("experiment: %s produced no legitimate silent run", family)
 		}
+		sys, legit, err := protocolSystem(g, family)
+		if err != nil {
+			return nil, err
+		}
 		for _, frac := range faultFractions {
 			k := int(frac * float64(g.N()))
 			if k < 1 {
 				k = 1
 			}
-			recovered := 0
-			var rounds []float64
-			maxRounds := 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := rng.Derive(cfg.Seed, uint64(trial)*31+uint64(k))
-				r := rng.New(seed)
-				corrupted := silentCfg.Clone()
-				perm := r.Perm(g.N())
-				for _, p := range perm[:k] {
-					for v := range corrupted.Comm[p] {
-						corrupted.Comm[p][v] = r.Intn(sys.CommDomain(p, v))
+			grid = append(grid, faultCell{family: family, k: k})
+			silentCfg, k := silentCfg, k
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("%s|%s|faults=%d", g.Name(), family, k),
+				Run: func(trial int, seed uint64) (*core.RunResult, error) {
+					r := rng.New(seed)
+					corrupted := silentCfg.Clone()
+					perm := r.Perm(g.N())
+					for _, p := range perm[:k] {
+						for v := range corrupted.Comm[p] {
+							corrupted.Comm[p][v] = r.Intn(sys.CommDomain(p, v))
+						}
+						for v := range corrupted.Internal[p] {
+							corrupted.Internal[p][v] = r.Intn(sys.InternalDomain(p, v))
+						}
 					}
-					for v := range corrupted.Internal[p] {
-						corrupted.Internal[p][v] = r.Intn(sys.InternalDomain(p, v))
-					}
-				}
-				res, err := core.Run(sys, corrupted, core.RunOptions{
-					Scheduler:  defaultSched(seed),
-					Seed:       seed,
-					MaxSteps:   cfg.MaxSteps,
-					CheckEvery: 1,
-					Legitimate: legit,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if res.Silent && res.LegitimateAtSilence {
-					recovered++
-					rounds = append(rounds, float64(res.RoundsToSilence))
-					if res.RoundsToSilence > maxRounds {
-						maxRounds = res.RoundsToSilence
-					}
+					return core.Run(sys, corrupted, core.RunOptions{
+						Scheduler:  defaultSched(seed),
+						Seed:       seed,
+						MaxSteps:   cfg.MaxSteps,
+						CheckEvery: 1,
+						Legitimate: legit,
+					})
+				},
+			})
+		}
+	}
+	faultResults, err := RunCells(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	table := stats.NewTable("E15: recovery rounds after k-process corruption",
+		"protocol", "graph", "faults", "recovered", "mean rounds", "max rounds")
+	pass := true
+	for i, fc := range grid {
+		recovered := 0
+		var rounds []float64
+		maxRounds := 0
+		for _, res := range faultResults[i] {
+			if res.Silent && res.LegitimateAtSilence {
+				recovered++
+				rounds = append(rounds, float64(res.RoundsToSilence))
+				if res.RoundsToSilence > maxRounds {
+					maxRounds = res.RoundsToSilence
 				}
 			}
-			ok := recovered == cfg.Trials
-			pass = pass && ok
-			table.AddRow(family, g.Name(), k,
-				fmt.Sprintf("%d/%d", recovered, cfg.Trials),
-				stats.Summarize(rounds).Mean, maxRounds)
 		}
+		ok := recovered == cfg.Trials
+		pass = pass && ok
+		table.AddRow(fc.family, g.Name(), fc.k,
+			fmt.Sprintf("%d/%d", recovered, cfg.Trials),
+			stats.Summarize(rounds).Mean, maxRounds)
 	}
 	return &Result{
 		ID:       "E15",

@@ -18,10 +18,18 @@ func E4MISStability(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	specs := make([]ProtoCell, len(graphs))
+	for i, g := range graphs {
+		specs[i] = ProtoCell{Graph: g, Family: FamMIS, SuffixRounds: 6 * g.N()}
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	table := stats.NewTable("E4: MIS ♦-(⌊(Lmax+1)/2⌋,1)-stability (Theorem 6, Figure 9)",
 		"graph", "n", "Lmax", "bound", "1-stable exact", "1-stable observed", "dominated", "ok")
 	pass := true
-	for _, g := range graphs {
+	for i, g := range graphs {
 		lmax, err := g.LongestPathExact(24)
 		if err != nil {
 			// Too large for the exact solver: use the certified lower
@@ -30,16 +38,12 @@ func E4MISStability(cfg Config) (*Result, error) {
 			lmax = g.LongestPathLowerBound(200, cfg.Seed)
 		}
 		bound := mis.StabilityBound(lmax)
-		results, err := runCell(cfg, g, FamMIS, defaultSched, 6*g.N())
-		if err != nil {
-			return nil, err
-		}
 		sys, _, err := protocolSystem(g, FamMIS)
 		if err != nil {
 			return nil, err
 		}
 		minStable, minExact, dominated := g.N()+1, g.N()+1, -1
-		for _, r := range results {
+		for _, r := range cells[i] {
 			if !r.Silent {
 				pass = false
 				continue
@@ -84,21 +88,25 @@ func E6MatchingStability(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	specs := make([]ProtoCell, len(graphs))
+	for i, g := range graphs {
+		specs[i] = ProtoCell{Graph: g, Family: FamMatching, SuffixRounds: 6 * g.N()}
+	}
+	cells, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	table := stats.NewTable("E6: MATCHING ♦-(2⌈m/(2Δ-1)⌉,1)-stability (Theorem 8, Figure 11)",
 		"graph", "n", "m", "Δ", "bound", "married (min)", "1-stable exact", "1-stable observed", "ok")
 	pass := true
-	for _, g := range graphs {
+	for i, g := range graphs {
 		bound := matching.StabilityBound(g.M(), g.MaxDegree())
-		results, err := runCell(cfg, g, FamMatching, defaultSched, 6*g.N())
-		if err != nil {
-			return nil, err
-		}
 		minMarried, minStable, minExact := g.N()+1, g.N()+1, g.N()+1
 		sys, _, err := protocolSystem(g, FamMatching)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range results {
+		for _, r := range cells[i] {
 			if !r.Silent {
 				pass = false
 				continue

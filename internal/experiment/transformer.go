@@ -65,9 +65,14 @@ func E13Transformer(cfg Config) (*Result, error) {
 		}},
 	}
 
-	table := stats.NewTable("E13: local-checking transformer (Section 6 open question)",
-		"protocol", "graph", "converged", "legit", "k-eff", "orig rounds", "xform rounds", "slowdown")
-	pass := true
+	// Every (target, graph) pair expands into two pool cells: the original
+	// full-read spec and its transformed 1-efficient version.
+	type pairIdx struct {
+		name  string
+		graph *graph.Graph
+	}
+	var pairs []pairIdx
+	var cells []Cell
 	for _, tg := range targets {
 		for _, g := range graphs {
 			if cfg.Quick && g.N() > 12 {
@@ -81,24 +86,39 @@ func E13Transformer(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			origRounds, _, err := runSpecCell(cfg, g, origSpec, consts, legit)
+			origCell, err := specCell(cfg, fmt.Sprintf("%s|%s|orig", tg.name, g.Name()), g, origSpec, consts, legit)
 			if err != nil {
 				return nil, err
 			}
-			xRounds, xAgg, err := runSpecCell(cfg, g, xSpec, consts, legit)
+			xCell, err := specCell(cfg, fmt.Sprintf("%s|%s|xform", tg.name, g.Name()), g, xSpec, consts, legit)
 			if err != nil {
 				return nil, err
 			}
-			ok := xAgg.Converged == xAgg.Runs && xAgg.LegitimateAll && xAgg.MaxKEfficiency <= 1
-			pass = pass && ok
-			slowdown := "n/a"
-			if origRounds > 0 {
-				slowdown = fmt.Sprintf("%.1fx", float64(xRounds)/float64(origRounds))
-			}
-			table.AddRow(tg.name, g.Name(),
-				fmt.Sprintf("%d/%d", xAgg.Converged, xAgg.Runs),
-				xAgg.LegitimateAll, xAgg.MaxKEfficiency, origRounds, xRounds, slowdown)
+			pairs = append(pairs, pairIdx{name: tg.name, graph: g})
+			cells = append(cells, origCell, xCell)
 		}
+	}
+	results, err := RunCells(cfg, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	table := stats.NewTable("E13: local-checking transformer (Section 6 open question)",
+		"protocol", "graph", "converged", "legit", "k-eff", "orig rounds", "xform rounds", "slowdown")
+	pass := true
+	for i, pr := range pairs {
+		origAgg := core.Aggregate(results[2*i])
+		xAgg := core.Aggregate(results[2*i+1])
+		origRounds, xRounds := origAgg.MaxRounds, xAgg.MaxRounds
+		ok := xAgg.Converged == xAgg.Runs && xAgg.LegitimateAll && xAgg.MaxKEfficiency <= 1
+		pass = pass && ok
+		slowdown := "n/a"
+		if origRounds > 0 {
+			slowdown = fmt.Sprintf("%.1fx", float64(xRounds)/float64(origRounds))
+		}
+		table.AddRow(pr.name, pr.graph.Name(),
+			fmt.Sprintf("%d/%d", xAgg.Converged, xAgg.Runs),
+			xAgg.LegitimateAll, xAgg.MaxKEfficiency, origRounds, xRounds, slowdown)
 	}
 	return &Result{
 		ID:       "E13",
@@ -111,28 +131,25 @@ func E13Transformer(cfg Config) (*Result, error) {
 	}, nil
 }
 
-func runSpecCell(cfg Config, g *graph.Graph, spec *model.Spec, consts [][]int,
-	legit func(*model.System, *model.Config) bool) (maxRounds int, agg core.Convergence, err error) {
+// specCell builds a pool cell for an explicit protocol spec (rather than
+// a registered family) on g.
+func specCell(cfg Config, key string, g *graph.Graph, spec *model.Spec, consts [][]int,
+	legit func(*model.System, *model.Config) bool) (Cell, error) {
 	sys, err := model.NewSystem(g, spec, consts)
 	if err != nil {
-		return 0, core.Convergence{}, err
+		return Cell{}, err
 	}
-	var results []*core.RunResult
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := rng.Derive(cfg.Seed, uint64(trial)*977+uint64(len(spec.Actions)))
-		initial := model.NewRandomConfig(sys, rng.New(seed))
-		res, err := core.Run(sys, initial, core.RunOptions{
-			Scheduler:  defaultSched(seed),
-			Seed:       seed,
-			MaxSteps:   cfg.MaxSteps,
-			CheckEvery: 2,
-			Legitimate: legit,
-		})
-		if err != nil {
-			return 0, core.Convergence{}, err
-		}
-		results = append(results, res)
-	}
-	agg = core.Aggregate(results)
-	return agg.MaxRounds, agg, nil
+	return Cell{
+		Key: key,
+		Run: func(trial int, seed uint64) (*core.RunResult, error) {
+			initial := model.NewRandomConfig(sys, rng.New(seed))
+			return core.Run(sys, initial, core.RunOptions{
+				Scheduler:  defaultSched(seed),
+				Seed:       seed,
+				MaxSteps:   cfg.MaxSteps,
+				CheckEvery: 2,
+				Legitimate: legit,
+			})
+		},
+	}, nil
 }

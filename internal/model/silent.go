@@ -34,7 +34,6 @@ import (
 // set detects the cycle. maxOrbit caps the per-process exploration as a
 // defence against enormous internal domains.
 func CommSilent(sys *System, cfg *Config) (bool, error) {
-	const maxOrbit = 1 << 16
 	for p := 0; p < sys.N(); p++ {
 		silent, err := processOrbitSilent(sys, cfg, p, maxOrbit)
 		if err != nil {
@@ -47,7 +46,17 @@ func CommSilent(sys *System, cfg *Config) (bool, error) {
 	return true, nil
 }
 
+// maxOrbit caps the per-process orbit exploration of the silence
+// decision procedure.
+const maxOrbit = 1 << 16
+
 func processOrbitSilent(sys *System, cfg *Config, p, maxOrbit int) (bool, error) {
+	// Fast path: a disabled process is a local fixed point — its orbit is
+	// closed at the first state. This avoids the visited-set allocation in
+	// the common near-silence case.
+	if EnabledAction(sys, cfg, p) < 0 {
+		return true, nil
+	}
 	// Local scratch state; neighbors are read from cfg, which this probe
 	// never mutates.
 	comm := append([]int(nil), cfg.Comm[p]...)

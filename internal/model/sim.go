@@ -34,6 +34,15 @@ type Simulator struct {
 	seenThisRound   []bool
 	remainingInRnd  int
 	roundBoundaries []int // step index at which each round completed
+
+	// Incremental silence detection: orbitSilent[p] caches a true verdict
+	// of processOrbitSilent for p under the current configuration. The
+	// verdict depends only on p's own state and its neighbors'
+	// communication state, so Step invalidates p when p's state changes
+	// and p's neighbors when p's communication state changes. preComm is
+	// reusable scratch for change detection.
+	orbitSilent []bool
+	preComm     [][]int
 }
 
 // NewSimulator builds a simulator over a deep copy of cfg0, so the caller
@@ -50,6 +59,8 @@ func NewSimulator(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs O
 		seed:           seed,
 		seenThisRound:  make([]bool, sys.N()),
 		remainingInRnd: sys.N(),
+		orbitSilent:    make([]bool, sys.N()),
+		preComm:        make([][]int, sys.N()),
 	}
 	return s, nil
 }
@@ -85,7 +96,23 @@ func (s *Simulator) Step() []int {
 	randFor := func(p int) *rng.Rand {
 		return rng.New(rng.Derive(stepSeed, uint64(p)))
 	}
-	ExecuteStep(s.sys, s.cfg, selected, s.step, randFor, s.obs)
+	for _, p := range selected {
+		s.preComm[p] = append(s.preComm[p][:0], s.cfg.Comm[p]...)
+	}
+	fired := ExecuteStep(s.sys, s.cfg, selected, s.step, randFor, s.obs)
+	for i, p := range selected {
+		if fired[i] < 0 {
+			continue
+		}
+		// p moved: its own state may have changed. If its communication
+		// state changed, the neighbors' cached verdicts are stale too.
+		s.orbitSilent[p] = false
+		if !intsEqual(s.preComm[p], s.cfg.Comm[p]) {
+			for port := 1; port <= s.sys.g.Degree(p); port++ {
+				s.orbitSilent[s.sys.g.Neighbor(p, port)] = false
+			}
+		}
+	}
 
 	roundCompleted := false
 	for _, p := range selected {
@@ -129,11 +156,17 @@ func (s *Simulator) RunUntil(stop func(*Config) bool, maxSteps int) bool {
 // RunUntilSilent executes steps until the configuration is communication-
 // silent, checking silence every checkEvery steps (and on the initial
 // configuration). It returns whether silence was reached within maxSteps.
+//
+// Silence detection is incremental: a process's frozen-neighborhood orbit
+// verdict is re-evaluated only when its own state or a neighbor's
+// communication state changed since the last check, so the amortized cost
+// per step is proportional to the activity, not to n. The caller must not
+// mutate Config() between steps, or cached verdicts go stale.
 func (s *Simulator) RunUntilSilent(maxSteps, checkEvery int) (bool, error) {
 	if checkEvery < 1 {
 		checkEvery = 1
 	}
-	silent, err := CommSilent(s.sys, s.cfg)
+	silent, err := s.SilentNow()
 	if err != nil {
 		return false, err
 	}
@@ -143,7 +176,7 @@ func (s *Simulator) RunUntilSilent(maxSteps, checkEvery int) (bool, error) {
 	for s.step < maxSteps {
 		s.Step()
 		if s.step%checkEvery == 0 {
-			silent, err := CommSilent(s.sys, s.cfg)
+			silent, err := s.SilentNow()
 			if err != nil {
 				return false, err
 			}
@@ -152,8 +185,28 @@ func (s *Simulator) RunUntilSilent(maxSteps, checkEvery int) (bool, error) {
 			}
 		}
 	}
-	silent, err = CommSilent(s.sys, s.cfg)
-	return silent, err
+	return s.SilentNow()
+}
+
+// SilentNow decides whether the current configuration is communication-
+// silent, reusing per-process verdicts cached since the last call and
+// invalidated by Step. It is equivalent to CommSilent(Sys(), Config())
+// as long as the configuration is only mutated through Step.
+func (s *Simulator) SilentNow() (bool, error) {
+	for p := 0; p < s.sys.N(); p++ {
+		if s.orbitSilent[p] {
+			continue
+		}
+		silent, err := processOrbitSilent(s.sys, s.cfg, p, maxOrbit)
+		if err != nil {
+			return false, fmt.Errorf("model: silence check at process %d: %w", p, err)
+		}
+		if !silent {
+			return false, nil
+		}
+		s.orbitSilent[p] = true
+	}
+	return true, nil
 }
 
 // RunSteps executes exactly k further steps.

@@ -188,15 +188,24 @@ func (r *Rand) Pick(candidates []int) int {
 
 // SubsetNonEmpty returns a uniformly chosen non-empty subset of [0, n),
 // as a sorted slice of indices. It panics if n <= 0.
+//
+// The n membership bits are drawn 64 at a time — this sits on the
+// scheduler's per-step hot path (sched.RandomSubset), where drawing one
+// generator word per process dominated the selection cost.
 func (r *Rand) SubsetNonEmpty(n int) []int {
 	if n <= 0 {
 		panic("rng: SubsetNonEmpty called with non-positive n")
 	}
 	for {
 		var out []int
-		for i := 0; i < n; i++ {
-			if r.Bool() {
-				out = append(out, i)
+		for base := 0; base < n; base += 64 {
+			w := r.src.Uint64()
+			if k := n - base; k < 64 {
+				w &= 1<<k - 1
+			}
+			for w != 0 {
+				out = append(out, base+bits.TrailingZeros64(w))
+				w &= w - 1
 			}
 		}
 		if len(out) > 0 {

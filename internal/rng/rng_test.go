@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -215,5 +216,17 @@ func BenchmarkIntn(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
 		_ = r.Intn(1000)
+	}
+}
+
+func BenchmarkSubsetNonEmpty(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			r := New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = r.SubsetNonEmpty(n)
+			}
+		})
 	}
 }

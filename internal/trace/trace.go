@@ -14,6 +14,7 @@
 package trace
 
 import (
+	"repro/internal/bitset"
 	"repro/internal/model"
 )
 
@@ -23,20 +24,26 @@ type readKey struct {
 	v    int
 }
 
-// Recorder accumulates read/step/move statistics for one execution.
+// Recorder accumulates read/step/move statistics for one execution. Read
+// sets are bitsets and per-step scratch is reused, so the observer
+// allocates nothing on the steady-state path.
 type Recorder struct {
 	n int
 
-	// Scratch for the step in progress.
-	curReads   map[int]map[int]bool
-	curBitKeys map[int]map[readKey]bool
-	curBitSum  map[int]int
+	// Scratch for the step in progress, reused across steps. touched
+	// lists the processes with reads this step; their scratch rows are
+	// reset in StepEnd.
+	curReads     []*bitset.Set // per process: distinct neighbors read this step
+	curReadCount []int
+	curBitKeys   [][]readKey // per process: deduped (q,kind,v) reads this step
+	curBitSum    []int
+	touched      []int
 
 	maxStepReads []int // per process: max distinct neighbors read in one step
 	maxStepBits  []int // per process: max bits read in one step
 
-	everRead   []map[int]bool // R_p over the whole computation
-	suffixRead []map[int]bool // R_p since the last MarkSuffix
+	everRead   []*bitset.Set // R_p over the whole computation
+	suffixRead []*bitset.Set // R_p since the last MarkSuffix
 
 	totalBits          int64
 	totalReads         int64 // distinct (process, neighbor) reads summed over steps
@@ -59,14 +66,19 @@ type Recorder struct {
 func NewRecorder(n int) *Recorder {
 	r := &Recorder{
 		n:            n,
+		curReads:     make([]*bitset.Set, n),
+		curReadCount: make([]int, n),
+		curBitKeys:   make([][]readKey, n),
+		curBitSum:    make([]int, n),
 		maxStepReads: make([]int, n),
 		maxStepBits:  make([]int, n),
-		everRead:     make([]map[int]bool, n),
-		suffixRead:   make([]map[int]bool, n),
+		everRead:     make([]*bitset.Set, n),
+		suffixRead:   make([]*bitset.Set, n),
 	}
 	for p := 0; p < n; p++ {
-		r.everRead[p] = make(map[int]bool)
-		r.suffixRead[p] = make(map[int]bool)
+		r.curReads[p] = bitset.New(n)
+		r.everRead[p] = bitset.New(n)
+		r.suffixRead[p] = bitset.New(n)
 	}
 	return r
 }
@@ -75,32 +87,26 @@ var _ model.Observer = (*Recorder)(nil)
 
 // StepBegin implements model.Observer.
 func (r *Recorder) StepBegin(_ int, selected []int) {
-	r.curReads = make(map[int]map[int]bool, len(selected))
-	r.curBitKeys = make(map[int]map[readKey]bool, len(selected))
-	r.curBitSum = make(map[int]int, len(selected))
 	r.selections += int64(len(selected))
 	r.suffixSelections += int64(len(selected))
 }
 
 // Read implements model.Observer.
 func (r *Recorder) Read(_, p, q int, kind model.VarKind, v, bits int) {
-	set := r.curReads[p]
-	if set == nil {
-		set = make(map[int]bool, 2)
-		r.curReads[p] = set
+	if len(r.curBitKeys[p]) == 0 {
+		r.touched = append(r.touched, p)
 	}
-	set[q] = true
-
-	keys := r.curBitKeys[p]
-	if keys == nil {
-		keys = make(map[readKey]bool, 4)
-		r.curBitKeys[p] = keys
+	if r.curReads[p].Add(q) {
+		r.curReadCount[p]++
 	}
 	k := readKey{q: q, kind: kind, v: v}
-	if !keys[k] {
-		keys[k] = true
-		r.curBitSum[p] += bits
+	for _, seen := range r.curBitKeys[p] {
+		if seen == k {
+			return
+		}
 	}
+	r.curBitKeys[p] = append(r.curBitKeys[p], k)
+	r.curBitSum[p] += bits
 }
 
 // ActionFired implements model.Observer.
@@ -120,24 +126,29 @@ func (r *Recorder) CommWrite(_, _, _, _, _ int) {
 
 // StepEnd implements model.Observer.
 func (r *Recorder) StepEnd(_ int, _ []int, roundCompleted bool) {
-	for p, set := range r.curReads {
-		if len(set) > r.maxStepReads[p] {
-			r.maxStepReads[p] = len(set)
+	for _, p := range r.touched {
+		reads := r.curReadCount[p]
+		if reads > r.maxStepReads[p] {
+			r.maxStepReads[p] = reads
 		}
-		r.totalReads += int64(len(set))
-		r.suffixReads += int64(len(set))
-		for q := range set {
-			r.everRead[p][q] = true
-			r.suffixRead[p][q] = true
-		}
-	}
-	for p, bits := range r.curBitSum {
+		r.totalReads += int64(reads)
+		r.suffixReads += int64(reads)
+		r.curReads[p].UnionInto(r.everRead[p])
+		r.curReads[p].UnionInto(r.suffixRead[p])
+
+		bits := r.curBitSum[p]
 		if bits > r.maxStepBits[p] {
 			r.maxStepBits[p] = bits
 		}
 		r.totalBits += int64(bits)
 		r.suffixBits += int64(bits)
+
+		r.curReads[p].Clear()
+		r.curReadCount[p] = 0
+		r.curBitKeys[p] = r.curBitKeys[p][:0]
+		r.curBitSum[p] = 0
 	}
+	r.touched = r.touched[:0]
 	r.steps++
 	r.suffixSteps++
 	if roundCompleted {
@@ -150,7 +161,7 @@ func (r *Recorder) StepEnd(_ int, _ []int, roundCompleted bool) {
 // cleared. Call it at the silence point to measure ♦-(x,k)-stability.
 func (r *Recorder) MarkSuffix() {
 	for p := 0; p < r.n; p++ {
-		r.suffixRead[p] = make(map[int]bool)
+		r.suffixRead[p].Clear()
 	}
 	r.suffixSteps = 0
 	r.suffixRounds = 0
@@ -230,8 +241,8 @@ func (r *Recorder) Report() Report {
 		if r.maxStepBits[p] > rep.CommComplexityBits {
 			rep.CommComplexityBits = r.maxStepBits[p]
 		}
-		rep.ReadSetSizes[p] = len(r.everRead[p])
-		rep.SuffixReadSetSizes[p] = len(r.suffixRead[p])
+		rep.ReadSetSizes[p] = r.everRead[p].Count()
+		rep.SuffixReadSetSizes[p] = r.suffixRead[p].Count()
 	}
 	return rep
 }

@@ -7,6 +7,7 @@ import (
 )
 
 func TestGenerateAndRunColoring(t *testing.T) {
+	t.Parallel()
 	net, err := Generate("grid", 16, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -34,6 +35,7 @@ func TestGenerateAndRunColoring(t *testing.T) {
 }
 
 func TestRunMISWithStability(t *testing.T) {
+	t.Parallel()
 	net, err := Generate("path", 10, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +64,7 @@ func TestRunMISWithStability(t *testing.T) {
 }
 
 func TestRunMatchingDecoding(t *testing.T) {
+	t.Parallel()
 	net, err := Generate("cycle", 10, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +87,7 @@ func TestRunMatchingDecoding(t *testing.T) {
 }
 
 func TestBaselines(t *testing.T) {
+	t.Parallel()
 	net := NewNetwork(graph.Grid(3, 3))
 	for _, build := range []func(*Network) (res *RunResult, err error){
 		func(n *Network) (*RunResult, error) {
@@ -142,6 +146,7 @@ func TestRunConcurrentFacade(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
+	t.Parallel()
 	net, err := Generate("path", 6, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -156,6 +161,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
+	t.Parallel()
 	ids := ExperimentIDs()
 	if len(ids) != 15 {
 		t.Fatalf("%d experiment ids", len(ids))
@@ -173,12 +179,14 @@ func TestExperimentFacade(t *testing.T) {
 }
 
 func TestGenerateUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := Generate("mobius", 10, 1); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
 
 func TestBFSTreeFacade(t *testing.T) {
+	t.Parallel()
 	net, err := Generate("gnp", 14, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +208,7 @@ func TestBFSTreeFacade(t *testing.T) {
 }
 
 func TestTransformedFacade(t *testing.T) {
+	t.Parallel()
 	net, err := Generate("grid", 9, 9)
 	if err != nil {
 		t.Fatal(err)
