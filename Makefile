@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench fmt vet check
+# pipefail so piped targets (bench-json) fail when go test fails.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: build test test-race bench bench-json fmt vet check
 
 build:
 	$(GO) build ./...
@@ -18,7 +22,19 @@ test-full:
 	$(GO) test -timeout 20m ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model
+
+# Machine-readable perf trajectory: run the step-engine core benchmarks
+# and record (name, ns/op, allocs/op) in BENCH_2.json. The committed
+# copy is the canonical baseline for this PR's engine (numbers are
+# machine-specific — regenerate locally only to compare shapes, not to
+# commit); CI uploads a fresh run as an artifact on every push. Bump the
+# N in the filename when a later PR resets the baseline.
+BENCH_CORE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkSimulatorStep'
+bench-json:
+	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' ./internal/model . \
+		| $(GO) run ./cmd/benchjson > BENCH_2.json
+	@echo wrote BENCH_2.json
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

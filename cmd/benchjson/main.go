@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a machine-readable JSON array on stdout, so the repository can
+// track its performance trajectory across PRs (BENCH_N.json files, see
+// `make bench-json`).
+//
+// Each benchmark line becomes one object:
+//
+//	{"name": "BenchmarkExecuteStep/arena-central-rr-8",
+//	 "ns_per_op": 212.4, "bytes_per_op": 0, "allocs_per_op": 0}
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored, so the whole `go test` output can be piped through unchanged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin (wrong -bench pattern, or the test binary failed)")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark results from go test -bench output. The line
+// format is: Name <iters> <value> ns/op [<value> B/op] [<value> allocs/op]
+// with possible extra custom metrics, which are ignored.
+func parse(r io.Reader) ([]Result, error) {
+	results := []Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op value %q in line %q", val, line)
+				}
+				res.NsPerOp = f
+				seen = true
+			case "B/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad B/op value %q in line %q", val, line)
+				}
+				res.BytesPerOp = n
+			case "allocs/op":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op value %q in line %q", val, line)
+				}
+				res.AllocsPerOp = n
+			}
+		}
+		if seen {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro/internal/model
+cpu: some cpu
+BenchmarkExecuteStep/arena-central-rr-8         	 5000000	       212.4 ns/op	       0 B/op	       0 allocs/op
+BenchmarkExecuteStep/free-central-rr-8          	 1000000	      1042 ns/op	     488 B/op	       9 allocs/op
+BenchmarkSimulatorStep-8                        	 2000000	       734 ns/op	      96.5 steps/conv	     120 B/op	       3 allocs/op
+PASS
+ok  	repro/internal/model	4.2s
+`
+	results, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	first := results[0]
+	if first.Name != "BenchmarkExecuteStep/arena-central-rr-8" ||
+		first.Iterations != 5000000 || first.NsPerOp != 212.4 ||
+		first.BytesPerOp != 0 || first.AllocsPerOp != 0 {
+		t.Fatalf("first result parsed wrong: %+v", first)
+	}
+	// Custom metrics (steps/conv) must not derail B/op parsing.
+	third := results[2]
+	if third.AllocsPerOp != 3 || third.BytesPerOp != 120 {
+		t.Fatalf("third result parsed wrong: %+v", third)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	results, err := parse(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Fatalf("want empty non-nil result set, got %#v", results)
+	}
+}

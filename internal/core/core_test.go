@@ -28,7 +28,7 @@ func TestRunRequiresScheduler(t *testing.T) {
 }
 
 func TestRunRequiresMaxSteps(t *testing.T) {
-	if _, err := testRun(t, RunOptions{Scheduler: sched.Synchronous{}}); err == nil {
+	if _, err := testRun(t, RunOptions{Scheduler: sched.NewSynchronous()}); err == nil {
 		t.Fatal("zero MaxSteps accepted")
 	}
 }

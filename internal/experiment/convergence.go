@@ -109,8 +109,8 @@ type namedScheduler struct {
 
 func boundSchedulers() []namedScheduler {
 	return []namedScheduler{
-		{"synchronous", func(uint64) model.Scheduler { return sched.Synchronous{} }},
-		{"central-rr", func(uint64) model.Scheduler { return sched.CentralRoundRobin{} }},
+		{"synchronous", func(uint64) model.Scheduler { return sched.NewSynchronous() }},
+		{"central-rr", func(uint64) model.Scheduler { return sched.NewCentralRoundRobin() }},
 		{"random-subset", func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }},
 		{"laziest-fair", func(uint64) model.Scheduler { return sched.NewLaziestFair() }},
 	}

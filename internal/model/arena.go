@@ -1,0 +1,103 @@
+package model
+
+import (
+	"repro/internal/rng"
+)
+
+// stepArena holds the reusable execution state behind Simulator.Step: one
+// Ctx per process backed by rows of two flat scratch arrays, the
+// fired/commChanged result buffers, and a single reseedable generator.
+// After construction, the steady-state step path performs no heap
+// allocation.
+type stepArena struct {
+	sys  *System
+	ctxs []Ctx // one per process, own-state scratch pre-wired
+
+	commScratch     []int // n × CommWidth backing for ctx own-state copies
+	internalScratch []int
+
+	fired       []int  // per selected index: fired action or -1
+	commChanged []bool // per selected index: did p's comm row change
+
+	src      rng.SplitMix
+	rand     *rng.Rand // wraps &src; reseeded per process
+	stepSeed uint64
+}
+
+func newStepArena(sys *System) *stepArena {
+	n := sys.N()
+	wc, wi := sys.CommWidth(), sys.InternalWidth()
+	a := &stepArena{
+		sys:             sys,
+		ctxs:            make([]Ctx, n),
+		commScratch:     make([]int, n*wc),
+		internalScratch: make([]int, n*wi),
+		fired:           make([]int, 0, n),
+		commChanged:     make([]bool, n),
+	}
+	a.rand = rng.FromSource(&a.src)
+	for p := 0; p < n; p++ {
+		c := &a.ctxs[p]
+		c.sys = sys
+		c.p = p
+		c.comm = a.commScratch[p*wc : (p+1)*wc : (p+1)*wc]
+		c.internal = a.internalScratch[p*wi : (p+1)*wi : (p+1)*wi]
+	}
+	return a
+}
+
+// processRand reseeds the arena's shared generator for process p of the
+// current step. The stream is exactly rng.New(rng.Derive(stepSeed, p)),
+// so reusing the generator does not perturb determinism. The returned
+// Rand is valid until the next processRand call; the step engine executes
+// processes sequentially, so no two live users overlap.
+func (a *stepArena) processRand(p int) *rng.Rand {
+	a.src.Reseed(rng.Derive(a.stepSeed, uint64(p)))
+	return a.rand
+}
+
+// executeStep is ExecuteStep on the arena's reusable buffers: the same
+// two-phase semantics (evaluate every selected process against the
+// pre-step configuration, then commit all writes), with no per-step heap
+// allocation. Each process draws from the arena generator reseeded for
+// (stepSeed, p). The returned slices are owned by the arena and valid
+// until the next call.
+func (a *stepArena) executeStep(cfg *Config, selected []int, step int, obs Observer) (fired []int, commChanged []bool) {
+	fired = a.fired[:0]
+	for _, p := range selected {
+		c := &a.ctxs[p]
+		c.pre = cfg
+		c.obs = obs
+		c.step = step
+		c.cacheIndex = nil
+		c.rand = a.processRand(p)
+		copy(c.comm, cfg.Comm[p])
+		copy(c.internal, cfg.Internal[p])
+		f := execOne(c)
+		fired = append(fired, f)
+		if obs != nil {
+			obs.ActionFired(step, p, f)
+		}
+	}
+	a.fired = fired[:0]
+	commChanged = a.commChanged[:0]
+	for i, p := range selected {
+		changed := false
+		if fired[i] >= 0 {
+			c := &a.ctxs[p]
+			for v, nv := range c.comm {
+				if ov := cfg.Comm[p][v]; ov != nv {
+					changed = true
+					if obs != nil {
+						obs.CommWrite(step, p, v, ov, nv)
+					}
+				}
+			}
+			copy(cfg.Comm[p], c.comm)
+			copy(cfg.Internal[p], c.internal)
+		}
+		commChanged = append(commChanged, changed)
+	}
+	a.commChanged = commChanged[:0]
+	return fired, commChanged
+}

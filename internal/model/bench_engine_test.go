@@ -1,0 +1,121 @@
+package model_test
+
+// Step-engine micro-benchmarks: the per-step constant factor every
+// experiment in the registry pays millions of times. `make bench-json`
+// runs these (plus the root engine benchmarks) and records name, ns/op
+// and allocs/op in BENCH_2.json; the zero-allocs contract they exhibit is
+// pinned by the tests in perf_test.go.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// BenchmarkExecuteStep measures one scheduler step through the
+// simulator's reusable arena (the hot path) for the synchronous and
+// central round-robin daemons, against the allocating free-function
+// compatibility shim.
+func BenchmarkExecuteStep(b *testing.B) {
+	newSim := func(b *testing.B, sc model.Scheduler) *model.Simulator {
+		b.Helper()
+		sys := coloringSystem(b, graph.Torus(4, 4))
+		sim, err := model.NewSimulator(sys, model.NewRandomConfig(sys, rng.New(1)), sc, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.RunSteps(256) // warm the arena and converge past the noisy phase
+		return sim
+	}
+	b.Run("arena-synchronous", func(b *testing.B) {
+		sim := newSim(b, sched.NewSynchronous())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Step()
+		}
+	})
+	b.Run("arena-central-rr", func(b *testing.B) {
+		sim := newSim(b, sched.NewCentralRoundRobin())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Step()
+		}
+	})
+	b.Run("free-central-rr", func(b *testing.B) {
+		sys := coloringSystem(b, graph.Torus(4, 4))
+		cfg := model.NewRandomConfig(sys, rng.New(1))
+		sel := make([]int, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stepSeed := rng.Derive(1, uint64(i))
+			sel[0] = i % sys.N()
+			model.ExecuteStep(sys, cfg, sel, i, func(p int) *rng.Rand {
+				return rng.New(rng.Derive(stepSeed, uint64(p)))
+			}, nil)
+		}
+	})
+}
+
+// BenchmarkEnabledTracker measures enabledness maintenance: the
+// steady-state incremental path (one process invalidated per step, as
+// after a typical move) against the from-scratch EnabledSet oracle the
+// schedulers used to call every step.
+func BenchmarkEnabledTracker(b *testing.B) {
+	sys := coloringSystem(b, graph.Torus(4, 4))
+	cfg := model.NewRandomConfig(sys, rng.New(1))
+	b.Run("incremental", func(b *testing.B) {
+		tr := model.NewEnabledTracker(sys, cfg)
+		buf := make([]int, 0, sys.N())
+		tr.AppendEnabled(buf) // warm every verdict
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Invalidate(i % sys.N())
+			buf = tr.AppendEnabled(buf[:0])
+		}
+	})
+	b.Run("full-revalidate", func(b *testing.B) {
+		tr := model.NewEnabledTracker(sys, cfg)
+		buf := make([]int, 0, sys.N())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.InvalidateAll()
+			buf = tr.AppendEnabled(buf[:0])
+		}
+	})
+	b.Run("oracle-enabledset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = model.EnabledSet(sys, cfg)
+		}
+	})
+}
+
+// BenchmarkConfigClone measures the flat-layout Clone/Equal fast paths.
+func BenchmarkConfigClone(b *testing.B) {
+	sys := coloringSystem(b, graph.Torus(8, 8))
+	cfg := model.NewRandomConfig(sys, rng.New(1))
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cfg.Clone()
+		}
+	})
+	b.Run("equal", func(b *testing.B) {
+		cp := cfg.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !cfg.Equal(cp) {
+				b.Fatal("unequal")
+			}
+		}
+	})
+}

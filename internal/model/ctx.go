@@ -31,6 +31,10 @@ type Observer interface {
 // communication state (read-only, instrumented).
 //
 // Ports are 1-based local indices 1..δ.p, exactly the paper's labelling.
+//
+// A Ctx is only valid for the duration of one guard/apply evaluation:
+// the engine reuses per-process contexts (and their own-state scratch
+// rows) across steps, so protocols must never retain one.
 type Ctx struct {
 	sys *System
 	pre *Config // pre-step configuration: neighbor reads resolve here

@@ -1,0 +1,127 @@
+package model
+
+// EnabledView is the read-only enabledness probe offered to schedulers
+// and analysis code: the daemon's omniscience (Section 2), served
+// incrementally. Probes are side-effect free and unrecorded — they do not
+// count as communication.
+type EnabledView interface {
+	// Enabled reports whether p has an enabled action.
+	Enabled(p int) bool
+	// EnabledAction returns p's first enabled action index, or -1.
+	EnabledAction(p int) int
+	// AppendEnabled appends the ids of all enabled processes to dst in
+	// ascending order and returns the extended slice.
+	AppendEnabled(dst []int) []int
+}
+
+// TrackedScheduler is an optional scheduler extension: a scheduler that
+// consults enabledness should implement it to receive the simulator's
+// incremental EnabledTracker instead of re-deriving the enabled set from
+// scratch each step. Implementations must select exactly as their Select
+// method would with EnabledSet, so that routing through the tracker never
+// changes a computation.
+type TrackedScheduler interface {
+	Scheduler
+	// SelectTracked is Select with an incremental enabledness probe.
+	SelectTracked(step int, sys *System, cfg *Config, en EnabledView) []int
+}
+
+// EnabledTracker caches per-process enabledness verdicts over one live
+// configuration, invalidated by the same dirty-set rule as the
+// incremental silence detector: p's enabledness depends only on p's own
+// state and its neighbors' communication state (guards read nothing
+// else), so a verdict goes stale only when p moves or a neighbor's
+// communication row changes. Simulator.Step maintains the invalidation;
+// external code mutating the configuration must call Invalidate or
+// InvalidateAll itself.
+//
+// The tracker allocates only at construction: probes evaluate guards on a
+// reusable Ctx whose own-state scratch rows are preallocated.
+type EnabledTracker struct {
+	sys *System
+	cfg *Config
+
+	valid  []bool
+	action []int // cached first-enabled action (-1: disabled); valid[p] gates it
+
+	probe Ctx // reusable probe context; own-state rows below
+}
+
+// NewEnabledTracker builds a tracker over cfg. cfg must only be mutated
+// through the owning simulator (or with explicit Invalidate calls).
+func NewEnabledTracker(sys *System, cfg *Config) *EnabledTracker {
+	t := &EnabledTracker{
+		sys:    sys,
+		cfg:    cfg,
+		valid:  make([]bool, sys.N()),
+		action: make([]int, sys.N()),
+	}
+	t.probe.sys = sys
+	t.probe.comm = make([]int, sys.CommWidth())
+	t.probe.internal = make([]int, sys.InternalWidth())
+	t.probe.step = -1
+	return t
+}
+
+var _ EnabledView = (*EnabledTracker)(nil)
+
+// EnabledAction returns the index of p's first enabled action, or -1 if p
+// is disabled, recomputing only if p's cached verdict was invalidated.
+func (t *EnabledTracker) EnabledAction(p int) int {
+	if t.valid[p] {
+		return t.action[p]
+	}
+	c := &t.probe
+	c.pre = t.cfg
+	c.p = p
+	c.cacheIndex = nil
+	c.rand = nil
+	c.obs = nil
+	copy(c.comm, t.cfg.Comm[p])
+	copy(c.internal, t.cfg.Internal[p])
+	idx := -1
+	actions := t.sys.spec.Actions
+	for i := range actions {
+		if actions[i].Guard(c) {
+			idx = i
+			break
+		}
+	}
+	t.action[p] = idx
+	t.valid[p] = true
+	return idx
+}
+
+// Enabled reports whether p has an enabled action.
+func (t *EnabledTracker) Enabled(p int) bool { return t.EnabledAction(p) >= 0 }
+
+// AppendEnabled appends all enabled process ids to dst in ascending order
+// (exactly EnabledSet's order) and returns the extended slice.
+func (t *EnabledTracker) AppendEnabled(dst []int) []int {
+	for p := 0; p < t.sys.N(); p++ {
+		if t.EnabledAction(p) >= 0 {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// Invalidate marks p's cached verdict stale (p's own state changed).
+func (t *EnabledTracker) Invalidate(p int) { t.valid[p] = false }
+
+// InvalidateNeighbors marks the verdicts of p's neighbors stale (p's
+// communication state changed).
+func (t *EnabledTracker) InvalidateNeighbors(p int) {
+	g := t.sys.g
+	for port := 1; port <= g.Degree(p); port++ {
+		t.valid[g.Neighbor(p, port)] = false
+	}
+}
+
+// InvalidateAll marks every verdict stale. Call it after mutating the
+// configuration outside the simulator.
+func (t *EnabledTracker) InvalidateAll() {
+	for p := range t.valid {
+		t.valid[p] = false
+	}
+}

@@ -12,6 +12,29 @@
 // through the Ctx API and is recorded, which is what lets the trace layer
 // measure the paper's communication-efficiency notions (k-efficiency,
 // Definitions 4-9) directly rather than by static inspection.
+//
+// # State layout
+//
+// Config stores the whole configuration struct-of-arrays: one flat []int
+// holds every communication variable (process p's row at offset
+// p×CommWidth, see System.CommOffset) and one holds every internal
+// variable. Comm[p]/Internal[p] are views into those arrays, so indexing
+// code is unchanged while Clone/Equal/CommEqual reduce to single
+// copy/slices.Equal calls and a neighborhood read walks contiguous
+// memory.
+//
+// # Enabledness invalidation invariant
+//
+// A guard may read only its process's own variables and its neighbors'
+// communication variables (plus immutable constants and structure).
+// Hence p's enabledness — and equally p's frozen-neighborhood orbit
+// verdict used by the silence decision — is a function of p's own state
+// and the communication rows of p's neighbors alone, and a cached verdict
+// goes stale only when (a) p itself moves, or (b) a neighbor of p changes
+// its communication row. Simulator.Step applies exactly this dirty rule
+// to both the EnabledTracker and the incremental silence cache; code that
+// mutates a tracked configuration behind the simulator's back must call
+// EnabledTracker.Invalidate/InvalidateAll itself.
 package model
 
 import (

@@ -1,0 +1,223 @@
+package model_test
+
+// Steady-state performance contract of the step engine: after warmup,
+// Simulator.Step and the incremental EnabledTracker allocate nothing, and
+// the tracker's verdicts are indistinguishable from a from-scratch
+// EnabledSet oracle. These tests pin the contract; the benchmarks in
+// bench_engine_test.go quantify it (and feed BENCH_2.json via
+// `make bench-json`).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocols/coloring"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func coloringSystem(t testing.TB, g *graph.Graph) *model.System {
+	t.Helper()
+	sys, err := model.NewSystem(g, coloring.Spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// testStepZeroAlloc drives a simulator past warmup and asserts that
+// further steps perform no heap allocation. The warmup is sized so the
+// amortized round-boundary log has enough spare capacity to absorb the
+// measured steps without growing.
+func testStepZeroAlloc(t *testing.T, sc model.Scheduler) {
+	t.Helper()
+	sys := coloringSystem(t, graph.Torus(4, 4))
+	sim, err := model.NewSimulator(sys, model.NewRandomConfig(sys, rng.New(1)), sc, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunSteps(5000)
+	if avg := testing.AllocsPerRun(200, func() { sim.Step() }); avg != 0 {
+		t.Fatalf("Simulator.Step allocates %v times per step after warmup, want 0", avg)
+	}
+}
+
+func TestStepZeroAllocSynchronous(t *testing.T) {
+	testStepZeroAlloc(t, sched.NewSynchronous())
+}
+
+func TestStepZeroAllocCentralRoundRobin(t *testing.T) {
+	testStepZeroAlloc(t, sched.NewCentralRoundRobin())
+}
+
+func TestEnabledTrackerZeroAlloc(t *testing.T) {
+	sys := coloringSystem(t, graph.Torus(4, 4))
+	cfg := model.NewRandomConfig(sys, rng.New(3))
+	tr := model.NewEnabledTracker(sys, cfg)
+	buf := make([]int, 0, sys.N())
+	avg := testing.AllocsPerRun(100, func() {
+		tr.InvalidateAll()
+		buf = tr.AppendEnabled(buf[:0])
+	})
+	if avg != 0 {
+		t.Fatalf("EnabledTracker full revalidation allocates %v times, want 0", avg)
+	}
+}
+
+// TestEnabledTrackerMatchesOracle drives random-subset computations and
+// checks after every step that the tracker's incremental verdicts match a
+// from-scratch EnabledSet rescan — the invalidation-invariant soundness
+// check.
+func TestEnabledTrackerMatchesOracle(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Cycle(9),
+		graph.Star(8),
+		graph.RandomConnectedGNP(12, 0.25, rng.New(7)),
+	}
+	for gi, g := range graphs {
+		for seed := uint64(1); seed <= 5; seed++ {
+			sys := coloringSystem(t, g)
+			cfg := model.NewRandomConfig(sys, rng.New(seed))
+			sim, err := model.NewSimulator(sys, cfg, sched.NewRandomSubset(seed), seed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []int
+			for step := 0; step < 150; step++ {
+				sim.Step()
+				got = sim.Tracker().AppendEnabled(got[:0])
+				want := model.EnabledSet(sys, sim.Config())
+				if !intSlicesEqual(got, want) {
+					t.Fatalf("graph %d seed %d step %d: tracker %v, oracle %v",
+						gi, seed, step, got, want)
+				}
+			}
+		}
+	}
+}
+
+// oracleOnly hides a scheduler's SelectTracked method, forcing the
+// simulator down the untracked path (from-scratch EnabledSet probes).
+type oracleOnly struct{ s model.Scheduler }
+
+func (o oracleOnly) Name() string { return o.s.Name() }
+func (o oracleOnly) Select(step int, sys *model.System, cfg *model.Config) []int {
+	return o.s.Select(step, sys, cfg)
+}
+
+// TestTrackedSchedulersMatchOracle runs E1-class cells (Protocol COLORING
+// on suite-style graphs from adversarial initial configurations) twice
+// per seed — once with the scheduler served by the incremental tracker,
+// once with the same scheduler forced onto from-scratch EnabledSet
+// probes — and asserts identical selections at every step and identical
+// final configurations.
+func TestTrackedSchedulersMatchOracle(t *testing.T) {
+	schedulers := []func(seed uint64) model.Scheduler{
+		func(seed uint64) model.Scheduler { return sched.NewEnabledBiased(seed) },
+		func(uint64) model.Scheduler { return sched.NewLaziestFair() },
+	}
+	graphs := []*graph.Graph{
+		graph.Cycle(9),
+		graph.RandomConnectedGNP(12, 0.25, rng.New(11)),
+	}
+	for _, g := range graphs {
+		for _, mk := range schedulers {
+			for seed := uint64(1); seed <= 4; seed++ {
+				sys := coloringSystem(t, g)
+				cfg := model.NewRandomConfig(sys, rng.New(seed))
+
+				tracked, err := model.NewSimulator(sys, cfg, mk(seed), seed, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle, err := model.NewSimulator(sys, cfg, oracleOnly{mk(seed)}, seed, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := mk(seed).Name()
+				for step := 0; step < 300; step++ {
+					a := tracked.Step()
+					b := oracle.Step()
+					if !intSlicesEqual(a, b) {
+						t.Fatalf("%s on %s seed %d step %d: tracked selected %v, oracle %v",
+							name, g.Name(), seed, step, a, b)
+					}
+				}
+				if !tracked.Config().Equal(oracle.Config()) {
+					t.Fatalf("%s on %s seed %d: configurations diverged", name, g.Name(), seed)
+				}
+			}
+		}
+	}
+}
+
+// TestConfigFlatLayout pins the struct-of-arrays contract: row views
+// alias the flat backing, Clone preserves values and independence, and
+// Equal/CommEqual agree with an element-wise comparison.
+func TestConfigFlatLayout(t *testing.T) {
+	sys := coloringSystem(t, graph.Cycle(6))
+	cfg := model.NewRandomConfig(sys, rng.New(5))
+	cp := cfg.Clone()
+	if !cp.Equal(cfg) {
+		t.Fatal("clone differs from original")
+	}
+	cp.Comm[3][0] = (cp.Comm[3][0] + 1) % (sys.Delta() + 1)
+	if cp.CommEqual(cfg) {
+		t.Fatal("CommEqual missed a mutation through a row view")
+	}
+	if cfg.Comm[3][0] == cp.Comm[3][0] {
+		t.Fatal("clone shares backing storage with original")
+	}
+	if got, want := sys.CommOffset(3), 3*sys.CommWidth(); got != want {
+		t.Fatalf("CommOffset(3) = %d, want %d", got, want)
+	}
+}
+
+func TestEnabledSetNeverNil(t *testing.T) {
+	// All-equal values under a copy protocol are a fixpoint: the enabled
+	// set is empty, and the contract says empty, not nil.
+	copySpec := &model.Spec{
+		Name: "COPY",
+		Comm: []model.VarSpec{{Name: "X", Domain: model.FixedDomain(4)}},
+		Actions: []model.Action{{
+			Name:  "copy",
+			Guard: func(c *model.Ctx) bool { return c.Comm(0) != c.NeighborComm(1, 0) },
+			Apply: func(c *model.Ctx) { c.SetComm(0, c.NeighborComm(1, 0)) },
+		}},
+	}
+	sys, err := model.NewSystem(graph.Cycle(4), copySpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := model.NewZeroConfig(sys)
+	set := model.EnabledSet(sys, cfg)
+	if set == nil {
+		t.Fatal("EnabledSet returned nil for a fixpoint, want empty non-nil slice")
+	}
+	if len(set) != 0 {
+		t.Fatalf("EnabledSet = %v, want empty", set)
+	}
+}
+
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func ExampleEnabledTracker() {
+	g := graph.Cycle(4)
+	sys, _ := model.NewSystem(g, coloring.Spec(), nil)
+	cfg := model.NewZeroConfig(sys) // monochromatic: every process enabled
+	tr := model.NewEnabledTracker(sys, cfg)
+	fmt.Println(tr.AppendEnabled(nil))
+	// Output: [0 1 2 3]
+}

@@ -53,10 +53,20 @@ const maxOrbit = 1 << 16
 func processOrbitSilent(sys *System, cfg *Config, p, maxOrbit int) (bool, error) {
 	// Fast path: a disabled process is a local fixed point — its orbit is
 	// closed at the first state. This avoids the visited-set allocation in
-	// the common near-silence case.
+	// the common near-silence case. (Simulator.SilentNow answers this
+	// probe from its incremental tracker instead and calls
+	// enabledOrbitSilent directly.)
 	if EnabledAction(sys, cfg, p) < 0 {
 		return true, nil
 	}
+	return enabledOrbitSilent(sys, cfg, p, maxOrbit)
+}
+
+// enabledOrbitSilent explores the frozen-neighborhood orbit of a process
+// already known (or suspected) to be enabled. The first orbit iteration
+// re-derives enabledness, so calling it on a disabled process is merely
+// wasteful, never wrong.
+func enabledOrbitSilent(sys *System, cfg *Config, p, maxOrbit int) (bool, error) {
 	// Local scratch state; neighbors are read from cfg, which this probe
 	// never mutates.
 	comm := append([]int(nil), cfg.Comm[p]...)

@@ -9,12 +9,18 @@ import (
 // Scheduler chooses, for each step, the non-empty subset of processes to
 // activate. Implementations live in internal/sched; the distributed fair
 // scheduler of the paper is the reference semantics.
+//
+// Schedulers that consult enabledness should additionally implement
+// TrackedScheduler: the simulator then serves their probes from its
+// incremental EnabledTracker instead of a from-scratch rescan.
 type Scheduler interface {
 	// Name identifies the scheduler in reports.
 	Name() string
 	// Select returns the processes activated at this step. It must be
 	// non-empty; it may consult enabledness via EnabledSet (that probe
 	// is the daemon's omniscience and does not count as communication).
+	// The returned slice may be a reused internal buffer: it is only
+	// valid until the next Select call on the same scheduler.
 	Select(step int, sys *System, cfg *Config) []int
 }
 
@@ -22,10 +28,11 @@ type Scheduler interface {
 // atomic steps, round accounting (Dolev-Israeli-Moran rounds as defined
 // in Section 2), and observer callbacks.
 type Simulator struct {
-	sys   *System
-	cfg   *Config
-	sched Scheduler
-	obs   Observer
+	sys    *System
+	cfg    *Config
+	sched  Scheduler
+	tsched TrackedScheduler // non-nil iff sched implements TrackedScheduler
+	obs    Observer
 
 	seed uint64
 	step int
@@ -35,14 +42,21 @@ type Simulator struct {
 	remainingInRnd  int
 	roundBoundaries []int // step index at which each round completed
 
+	// arena holds the reusable per-process execution state: after the
+	// first step, Step performs no heap allocation (beyond the amortized
+	// round-boundary append).
+	arena *stepArena
+
+	// tracker serves enabledness queries incrementally; Step maintains
+	// its dirty set alongside orbitSilent.
+	tracker *EnabledTracker
+
 	// Incremental silence detection: orbitSilent[p] caches a true verdict
 	// of processOrbitSilent for p under the current configuration. The
 	// verdict depends only on p's own state and its neighbors'
 	// communication state, so Step invalidates p when p's state changes
-	// and p's neighbors when p's communication state changes. preComm is
-	// reusable scratch for change detection.
+	// and p's neighbors when p's communication state changes.
 	orbitSilent []bool
-	preComm     [][]int
 }
 
 // NewSimulator builds a simulator over a deep copy of cfg0, so the caller
@@ -60,7 +74,11 @@ func NewSimulator(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs O
 		seenThisRound:  make([]bool, sys.N()),
 		remainingInRnd: sys.N(),
 		orbitSilent:    make([]bool, sys.N()),
-		preComm:        make([][]int, sys.N()),
+	}
+	s.arena = newStepArena(sys)
+	s.tracker = NewEnabledTracker(sys, s.cfg)
+	if ts, ok := sched.(TrackedScheduler); ok {
+		s.tsched = ts
 	}
 	return s, nil
 }
@@ -84,32 +102,38 @@ func (s *Simulator) RoundBoundaries() []int {
 }
 
 // Step executes one scheduler step and returns the selected processes.
+// The returned slice may be a scheduler-owned buffer: it is valid until
+// the next Step call and must not be mutated.
 func (s *Simulator) Step() []int {
-	selected := s.sched.Select(s.step, s.sys, s.cfg)
+	var selected []int
+	if s.tsched != nil {
+		selected = s.tsched.SelectTracked(s.step, s.sys, s.cfg, s.tracker)
+	} else {
+		selected = s.sched.Select(s.step, s.sys, s.cfg)
+	}
 	if len(selected) == 0 {
 		panic(fmt.Sprintf("model: scheduler %s selected the empty set", s.sched.Name()))
 	}
 	if s.obs != nil {
 		s.obs.StepBegin(s.step, selected)
 	}
-	stepSeed := rng.Derive(s.seed, uint64(s.step))
-	randFor := func(p int) *rng.Rand {
-		return rng.New(rng.Derive(stepSeed, uint64(p)))
-	}
-	for _, p := range selected {
-		s.preComm[p] = append(s.preComm[p][:0], s.cfg.Comm[p]...)
-	}
-	fired := ExecuteStep(s.sys, s.cfg, selected, s.step, randFor, s.obs)
+	s.arena.stepSeed = rng.Derive(s.seed, uint64(s.step))
+	fired, commChanged := s.arena.executeStep(s.cfg, selected, s.step, s.obs)
 	for i, p := range selected {
 		if fired[i] < 0 {
 			continue
 		}
 		// p moved: its own state may have changed. If its communication
 		// state changed, the neighbors' cached verdicts are stale too.
+		// Enabledness and orbit-silence share the same dependency cone, so
+		// both caches follow the same dirty rule.
 		s.orbitSilent[p] = false
-		if !intsEqual(s.preComm[p], s.cfg.Comm[p]) {
+		s.tracker.Invalidate(p)
+		if commChanged[i] {
 			for port := 1; port <= s.sys.g.Degree(p); port++ {
-				s.orbitSilent[s.sys.g.Neighbor(p, port)] = false
+				q := s.sys.g.Neighbor(p, port)
+				s.orbitSilent[q] = false
+				s.tracker.Invalidate(q)
 			}
 		}
 	}
@@ -192,12 +216,22 @@ func (s *Simulator) RunUntilSilent(maxSteps, checkEvery int) (bool, error) {
 // silent, reusing per-process verdicts cached since the last call and
 // invalidated by Step. It is equivalent to CommSilent(Sys(), Config())
 // as long as the configuration is only mutated through Step.
+//
+// The fast path is allocation-free: a disabled process is a local fixed
+// point, and its disabledness comes from the incremental tracker rather
+// than a from-scratch probe. Only enabled processes pay for the full
+// orbit exploration.
 func (s *Simulator) SilentNow() (bool, error) {
 	for p := 0; p < s.sys.N(); p++ {
 		if s.orbitSilent[p] {
 			continue
 		}
-		silent, err := processOrbitSilent(s.sys, s.cfg, p, maxOrbit)
+		if s.tracker.EnabledAction(p) < 0 {
+			// Disabled: the orbit is closed at the first state.
+			s.orbitSilent[p] = true
+			continue
+		}
+		silent, err := enabledOrbitSilent(s.sys, s.cfg, p, maxOrbit)
 		if err != nil {
 			return false, fmt.Errorf("model: silence check at process %d: %w", p, err)
 		}
@@ -208,6 +242,11 @@ func (s *Simulator) SilentNow() (bool, error) {
 	}
 	return true, nil
 }
+
+// Tracker returns the simulator's incremental enabledness tracker. Its
+// verdicts are valid as long as the configuration is only mutated through
+// Step.
+func (s *Simulator) Tracker() *EnabledTracker { return s.tracker }
 
 // RunSteps executes exactly k further steps.
 func (s *Simulator) RunSteps(k int) {

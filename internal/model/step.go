@@ -47,6 +47,10 @@ func newCtx(sys *System, cfg *Config, p int, r *rng.Rand, obs Observer, step int
 // randFor supplies each process's private random stream for this step.
 // fired receives the fired action index per selected process (-1 if
 // disabled); the returned slice is indexed like selected.
+//
+// This free function is a compatibility entry point that allocates fresh
+// contexts per call; Simulator.Step runs the same semantics on a reusable
+// arena and allocates nothing after warmup.
 func ExecuteStep(sys *System, cfg *Config, selected []int, step int, randFor func(p int) *rng.Rand, obs Observer) []int {
 	fired := make([]int, len(selected))
 	ctxs := make([]*Ctx, len(selected))
@@ -103,7 +107,8 @@ func StepProcess(sys *System, cfg *Config, p int, r *rng.Rand, obs Observer, ste
 // EnabledAction returns the index of p's first enabled action in cfg, or
 // -1 if p is disabled. The probe is side-effect free and unrecorded: it
 // models the scheduler's (and analyst's) omniscience, not process
-// communication.
+// communication. It allocates a fresh context per call; cached,
+// allocation-free probes are served by EnabledTracker.
 func EnabledAction(sys *System, cfg *Config, p int) int {
 	c := newCtx(sys, cfg, p, nil, nil, -1)
 	spec := sys.spec
@@ -120,9 +125,13 @@ func Enabled(sys *System, cfg *Config, p int) bool {
 	return EnabledAction(sys, cfg, p) >= 0
 }
 
-// EnabledSet returns the ids of all enabled processes in cfg.
+// EnabledSet returns the ids of all enabled processes in cfg, in
+// ascending order. The result is always non-nil: when no process is
+// enabled (a fixpoint), it is an empty slice, so callers can range over
+// or serialize it without a nil check. This probe re-derives enabledness
+// from scratch; step loops should use Simulator.Tracker instead.
 func EnabledSet(sys *System, cfg *Config) []int {
-	var out []int
+	out := make([]int, 0, sys.N())
 	for p := 0; p < sys.N(); p++ {
 		if Enabled(sys, cfg, p) {
 			out = append(out, p)

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -119,23 +120,65 @@ func (s *System) InternalDomain(p, v int) int { return s.internalDomains[p][v] }
 // ConstDomain returns the domain size of constant v at p.
 func (s *System) ConstDomain(p, v int) int { return s.constDomains[p][v] }
 
+// CommWidth returns the number of communication variables per process
+// (the row width of the flat configuration layout).
+func (s *System) CommWidth() int { return len(s.spec.Comm) }
+
+// InternalWidth returns the number of internal variables per process.
+func (s *System) InternalWidth() int { return len(s.spec.Internal) }
+
+// CommOffset returns the offset of process p's communication row in the
+// flat backing array of a Config for this system.
+func (s *System) CommOffset(p int) int { return p * len(s.spec.Comm) }
+
+// InternalOffset returns the offset of process p's internal row in the
+// flat backing array of a Config for this system.
+func (s *System) InternalOffset(p int) int { return p * len(s.spec.Internal) }
+
 // Config is an instance of the states of all processes (paper §2). The
 // communication configuration is the Comm part alone.
+//
+// Storage is struct-of-arrays: all communication values live in one flat
+// []int (likewise internal values), and Comm[p]/Internal[p] are row views
+// into it, so Clone/Equal/CommEqual are single copy/slices.Equal calls
+// and a neighborhood scan walks contiguous memory. Process p's row starts
+// at offset p×arity (see System.CommOffset). Callers may mutate values
+// through the row views but must never replace a row slice itself.
 type Config struct {
-	// Comm[p][v] is communication variable v of process p.
+	// Comm[p][v] is communication variable v of process p (a view into
+	// the flat backing array).
 	Comm [][]int
-	// Internal[p][v] is internal variable v of process p.
+	// Internal[p][v] is internal variable v of process p (a view into
+	// the flat backing array).
 	Internal [][]int
+
+	commData     []int // flat backing: Comm[p] = commData[p*wc:(p+1)*wc]
+	internalData []int
 }
+
+// newFlatConfig builds an all-zero flat-layout configuration with n
+// processes, wc communication variables and wi internal variables each.
+func newFlatConfig(n, wc, wi int) *Config {
+	c := &Config{
+		Comm:         make([][]int, n),
+		Internal:     make([][]int, n),
+		commData:     make([]int, n*wc),
+		internalData: make([]int, n*wi),
+	}
+	for p := 0; p < n; p++ {
+		c.Comm[p] = c.commData[p*wc : (p+1)*wc : (p+1)*wc]
+		c.Internal[p] = c.internalData[p*wi : (p+1)*wi : (p+1)*wi]
+	}
+	return c
+}
+
+// flat reports whether the configuration uses the flat backing layout
+// (configurations assembled field-by-field by external code do not).
+func (c *Config) flat() bool { return c.commData != nil && c.internalData != nil }
 
 // NewZeroConfig returns the all-zeroes configuration.
 func NewZeroConfig(s *System) *Config {
-	c := &Config{Comm: make([][]int, s.N()), Internal: make([][]int, s.N())}
-	for p := 0; p < s.N(); p++ {
-		c.Comm[p] = make([]int, len(s.spec.Comm))
-		c.Internal[p] = make([]int, len(s.spec.Internal))
-	}
-	return c
+	return newFlatConfig(s.N(), len(s.spec.Comm), len(s.spec.Internal))
 }
 
 // NewRandomConfig draws a configuration uniformly at random from the full
@@ -156,9 +199,23 @@ func NewRandomConfig(s *System, r *rng.Rand) *Config {
 
 // Clone deep-copies the configuration.
 func (c *Config) Clone() *Config {
+	if c.flat() {
+		n := len(c.Comm)
+		wc, wi := 0, 0
+		if n > 0 {
+			wc, wi = len(c.Comm[0]), len(c.Internal[0])
+		}
+		out := newFlatConfig(n, wc, wi)
+		copy(out.commData, c.commData)
+		copy(out.internalData, c.internalData)
+		return out
+	}
+	// Hand-assembled layout: preserve the row shape as-is.
 	out := &Config{Comm: make([][]int, len(c.Comm)), Internal: make([][]int, len(c.Internal))}
 	for p := range c.Comm {
 		out.Comm[p] = append([]int(nil), c.Comm[p]...)
+	}
+	for p := range c.Internal {
 		out.Internal[p] = append([]int(nil), c.Internal[p]...)
 	}
 	return out
@@ -166,12 +223,21 @@ func (c *Config) Clone() *Config {
 
 // Equal reports whether both the communication and internal parts match.
 func (c *Config) Equal(d *Config) bool {
-	return c.CommEqual(d) && slices2Equal(c.Internal, d.Internal)
+	if !c.CommEqual(d) {
+		return false
+	}
+	if c.flat() && d.flat() && len(c.Internal) == len(d.Internal) {
+		return slices.Equal(c.internalData, d.internalData)
+	}
+	return slices2Equal(c.Internal, d.Internal)
 }
 
 // CommEqual reports whether the communication configurations match
 // (the notion under which silence is defined).
 func (c *Config) CommEqual(d *Config) bool {
+	if c.flat() && d.flat() && len(c.Comm) == len(d.Comm) {
+		return slices.Equal(c.commData, d.commData)
+	}
 	return slices2Equal(c.Comm, d.Comm)
 }
 

@@ -74,8 +74,8 @@ func TestColoringIsOneEfficient(t *testing.T) {
 func TestColoringUnderAllSchedulers(t *testing.T) {
 	g := graph.RandomConnectedGNP(12, 0.3, rng.New(5))
 	schedulers := []model.Scheduler{
-		sched.Synchronous{},
-		sched.CentralRoundRobin{},
+		sched.NewSynchronous(),
+		sched.NewCentralRoundRobin(),
 		sched.NewCentralRandom(3),
 		sched.NewRandomSubset(3),
 		sched.NewEnabledBiased(3),
@@ -151,7 +151,7 @@ func TestBaselineReadsAllNeighbors(t *testing.T) {
 	// its witnessed efficiency equals Δ on any graph where a process of
 	// degree Δ is ever selected.
 	g := graph.Star(6)
-	res := runOnce(t, g, BaselineSpec(), sched.CentralRoundRobin{}, 3, 0)
+	res := runOnce(t, g, BaselineSpec(), sched.NewCentralRoundRobin(), 3, 0)
 	if res.Report.KEfficiency != g.MaxDegree() {
 		t.Fatalf("baseline k-efficiency = %d, want Δ = %d", res.Report.KEfficiency, g.MaxDegree())
 	}
@@ -163,11 +163,11 @@ func TestCommunicationComplexityBits(t *testing.T) {
 	g := graph.Complete(5) // Δ = 4, palette 5, log2(5) rounded up = 3 bits
 	wantPer := model.BitsFor(g.MaxDegree() + 1)
 
-	eff := runOnce(t, g, Spec(), sched.CentralRoundRobin{}, 4, 0)
+	eff := runOnce(t, g, Spec(), sched.NewCentralRoundRobin(), 4, 0)
 	if eff.Report.CommComplexityBits != wantPer {
 		t.Fatalf("efficient comm complexity = %d bits, want %d", eff.Report.CommComplexityBits, wantPer)
 	}
-	base := runOnce(t, g, BaselineSpec(), sched.CentralRoundRobin{}, 4, 0)
+	base := runOnce(t, g, BaselineSpec(), sched.NewCentralRoundRobin(), 4, 0)
 	if base.Report.CommComplexityBits != g.MaxDegree()*wantPer {
 		t.Fatalf("baseline comm complexity = %d bits, want %d",
 			base.Report.CommComplexityBits, g.MaxDegree()*wantPer)

@@ -87,8 +87,8 @@ func TestMatchingIsOneEfficient(t *testing.T) {
 func TestMatchingRoundBound(t *testing.T) {
 	// Lemma 9: silence within (Δ+1)n + 2 rounds under any fair scheduler.
 	schedulers := []model.Scheduler{
-		sched.Synchronous{},
-		sched.CentralRoundRobin{},
+		sched.NewSynchronous(),
+		sched.NewCentralRoundRobin(),
 		sched.NewRandomSubset(7),
 		sched.NewLaziestFair(),
 	}
@@ -238,7 +238,7 @@ func TestBaselineMatchingConverges(t *testing.T) {
 func TestBaselineMatchingReadsAllNeighbors(t *testing.T) {
 	g := graph.Star(6)
 	sys := buildSystem(t, g, true)
-	res := runOnce(t, sys, sched.CentralRoundRobin{}, 3, 0)
+	res := runOnce(t, sys, sched.NewCentralRoundRobin(), 3, 0)
 	if res.Report.KEfficiency != g.MaxDegree() {
 		t.Fatalf("baseline k-efficiency = %d, want Δ = %d", res.Report.KEfficiency, g.MaxDegree())
 	}

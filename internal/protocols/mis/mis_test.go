@@ -87,8 +87,8 @@ func TestMISIsOneEfficient(t *testing.T) {
 func TestMISRoundBound(t *testing.T) {
 	// Lemma 4: silence within Δ × #C rounds, for any fair scheduler.
 	schedulers := []model.Scheduler{
-		sched.Synchronous{},
-		sched.CentralRoundRobin{},
+		sched.NewSynchronous(),
+		sched.NewCentralRoundRobin(),
 		sched.NewRandomSubset(7),
 		sched.NewLaziestFair(),
 	}
@@ -225,7 +225,7 @@ func TestBaselineMISConverges(t *testing.T) {
 func TestBaselineMISReadsAllNeighbors(t *testing.T) {
 	g := graph.Star(6)
 	sys := buildSystem(t, g, true)
-	res := runOnce(t, sys, sched.CentralRoundRobin{}, 3, 0)
+	res := runOnce(t, sys, sched.NewCentralRoundRobin(), 3, 0)
 	if res.Report.KEfficiency != g.MaxDegree() {
 		t.Fatalf("baseline k-efficiency = %d, want Δ = %d", res.Report.KEfficiency, g.MaxDegree())
 	}

@@ -69,6 +69,12 @@ func (s *SplitMix) Uint64() uint64 {
 	return mix64(s.state)
 }
 
+// Reseed resets the generator to the state of a fresh NewSplitMix(seed),
+// reusing the allocation. A reseeded generator emits exactly the stream
+// of a newly constructed one, which is what lets the step engine reuse a
+// single generator across processes without perturbing determinism.
+func (s *SplitMix) Reseed(seed uint64) { s.state = seed }
+
 // Split returns a new generator whose stream is independent of the
 // receiver's future output.
 func (s *SplitMix) Split() *SplitMix {
@@ -193,11 +199,19 @@ func (r *Rand) Pick(candidates []int) int {
 // scheduler's per-step hot path (sched.RandomSubset), where drawing one
 // generator word per process dominated the selection cost.
 func (r *Rand) SubsetNonEmpty(n int) []int {
+	return r.AppendSubsetNonEmpty(nil, n)
+}
+
+// AppendSubsetNonEmpty appends a uniformly chosen non-empty subset of
+// [0, n) to dst and returns the extended slice. It draws exactly the
+// stream of SubsetNonEmpty, so callers can switch to a reused buffer
+// (dst[:0]) without perturbing determinism. It panics if n <= 0.
+func (r *Rand) AppendSubsetNonEmpty(dst []int, n int) []int {
 	if n <= 0 {
 		panic("rng: SubsetNonEmpty called with non-positive n")
 	}
 	for {
-		var out []int
+		out := dst
 		for base := 0; base < n; base += 64 {
 			w := r.src.Uint64()
 			if k := n - base; k < 64 {
@@ -208,7 +222,7 @@ func (r *Rand) SubsetNonEmpty(n int) []int {
 				w &= w - 1
 			}
 		}
-		if len(out) > 0 {
+		if len(out) > len(dst) {
 			return out
 		}
 	}

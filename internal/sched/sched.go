@@ -4,47 +4,70 @@
 // infinitely often. All schedulers here satisfy distributed fairness
 // either surely (synchronous, round-robin, window-bounded) or with
 // probability 1 (random selections).
+//
+// Selection sits on the per-step hot path, so every scheduler reuses an
+// internal selection buffer: the slice returned by Select is valid until
+// the next Select call on the same scheduler and must not be mutated or
+// retained. Consequently a scheduler instance must not be shared by
+// concurrently running simulators (the experiment pool builds one per
+// trial). Schedulers that consult enabledness also implement
+// model.TrackedScheduler, so a Simulator serves their probes from its
+// incremental EnabledTracker instead of an O(n) from-scratch rescan;
+// both paths select identically.
 package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/model"
 	"repro/internal/rng"
 )
 
 // Synchronous selects every process at every step.
-type Synchronous struct{}
+type Synchronous struct {
+	buf []int
+}
+
+// NewSynchronous returns a Synchronous scheduler.
+func NewSynchronous() *Synchronous { return &Synchronous{} }
 
 // Name implements model.Scheduler.
-func (Synchronous) Name() string { return "synchronous" }
+func (*Synchronous) Name() string { return "synchronous" }
 
 // Select implements model.Scheduler.
-func (Synchronous) Select(_ int, sys *model.System, _ *model.Config) []int {
-	out := make([]int, sys.N())
-	for i := range out {
-		out[i] = i
+func (s *Synchronous) Select(_ int, sys *model.System, _ *model.Config) []int {
+	if len(s.buf) != sys.N() {
+		s.buf = make([]int, sys.N())
+		for i := range s.buf {
+			s.buf[i] = i
+		}
 	}
-	return out
+	return s.buf
 }
 
 // CentralRoundRobin selects a single process per step, cycling through
 // ids — the classic fair central daemon.
-type CentralRoundRobin struct{}
+type CentralRoundRobin struct {
+	sel [1]int
+}
+
+// NewCentralRoundRobin returns a CentralRoundRobin scheduler.
+func NewCentralRoundRobin() *CentralRoundRobin { return &CentralRoundRobin{} }
 
 // Name implements model.Scheduler.
-func (CentralRoundRobin) Name() string { return "central-rr" }
+func (*CentralRoundRobin) Name() string { return "central-rr" }
 
 // Select implements model.Scheduler.
-func (CentralRoundRobin) Select(step int, sys *model.System, _ *model.Config) []int {
-	return []int{step % sys.N()}
+func (s *CentralRoundRobin) Select(step int, sys *model.System, _ *model.Config) []int {
+	s.sel[0] = step % sys.N()
+	return s.sel[:]
 }
 
 // CentralRandom selects one uniformly random process per step (fair with
 // probability 1).
 type CentralRandom struct {
-	r *rng.Rand
+	r   *rng.Rand
+	sel [1]int
 }
 
 // NewCentralRandom returns a CentralRandom scheduler with its own stream.
@@ -57,13 +80,15 @@ func (*CentralRandom) Name() string { return "central-random" }
 
 // Select implements model.Scheduler.
 func (s *CentralRandom) Select(_ int, sys *model.System, _ *model.Config) []int {
-	return []int{s.r.Intn(sys.N())}
+	s.sel[0] = s.r.Intn(sys.N())
+	return s.sel[:]
 }
 
 // RandomSubset selects a uniformly random non-empty subset of processes
 // per step — the least structured distributed fair scheduler.
 type RandomSubset struct {
-	r *rng.Rand
+	r   *rng.Rand
+	buf []int
 }
 
 // NewRandomSubset returns a RandomSubset scheduler with its own stream.
@@ -76,7 +101,8 @@ func (*RandomSubset) Name() string { return "random-subset" }
 
 // Select implements model.Scheduler.
 func (s *RandomSubset) Select(_ int, sys *model.System, _ *model.Config) []int {
-	return s.r.SubsetNonEmpty(sys.N())
+	s.buf = s.r.AppendSubsetNonEmpty(s.buf[:0], sys.N())
+	return s.buf
 }
 
 // EnabledBiased selects a random non-empty subset of the enabled
@@ -85,7 +111,10 @@ func (s *RandomSubset) Select(_ int, sys *model.System, _ *model.Config) []int {
 // paper's round definition still counts selections of disabled
 // processes, which this daemon avoids until a fixpoint.
 type EnabledBiased struct {
-	r *rng.Rand
+	r       *rng.Rand
+	enabled []int
+	idxs    []int
+	out     []int
 }
 
 // NewEnabledBiased returns an EnabledBiased scheduler with its own stream.
@@ -98,16 +127,33 @@ func (*EnabledBiased) Name() string { return "enabled-biased" }
 
 // Select implements model.Scheduler.
 func (s *EnabledBiased) Select(_ int, sys *model.System, cfg *model.Config) []int {
-	enabled := model.EnabledSet(sys, cfg)
-	if len(enabled) == 0 {
-		return []int{s.r.Intn(sys.N())}
+	s.enabled = s.enabled[:0]
+	for p := 0; p < sys.N(); p++ {
+		if model.Enabled(sys, cfg, p) {
+			s.enabled = append(s.enabled, p)
+		}
 	}
-	idxs := s.r.SubsetNonEmpty(len(enabled))
-	out := make([]int, len(idxs))
-	for i, j := range idxs {
-		out[i] = enabled[j]
+	return s.fromEnabled(sys)
+}
+
+// SelectTracked implements model.TrackedScheduler: identical selections,
+// with enabledness answered by the simulator's incremental tracker.
+func (s *EnabledBiased) SelectTracked(_ int, sys *model.System, _ *model.Config, en model.EnabledView) []int {
+	s.enabled = en.AppendEnabled(s.enabled[:0])
+	return s.fromEnabled(sys)
+}
+
+func (s *EnabledBiased) fromEnabled(sys *model.System) []int {
+	if len(s.enabled) == 0 {
+		s.out = append(s.out[:0], s.r.Intn(sys.N()))
+		return s.out
 	}
-	return out
+	s.idxs = s.r.AppendSubsetNonEmpty(s.idxs[:0], len(s.enabled))
+	s.out = s.out[:0]
+	for _, j := range s.idxs {
+		s.out = append(s.out, s.enabled[j])
+	}
+	return s.out
 }
 
 // LaziestFair is an adversarial-but-fair central daemon: at each step it
@@ -116,13 +162,19 @@ func (s *EnabledBiased) Select(_ int, sys *model.System, cfg *model.Config) []in
 // then toward lower degree. Every process is selected at least once every
 // n steps, so the daemon is fair, while being maximally unhelpful to
 // protocols that need their enabled processes scheduled.
+//
+// Selection is a two-pass O(n) scan over a flat last-selected slice: the
+// first pass finds the stalest selection step, the second breaks ties —
+// so the (comparatively expensive) enabledness probe runs only for the
+// handful of tied candidates, not for every process.
 type LaziestFair struct {
-	last map[int]int
+	last []int // last[p] = step at which p was last selected (-1: never)
+	sel  [1]int
 }
 
 // NewLaziestFair returns a LaziestFair daemon.
 func NewLaziestFair() *LaziestFair {
-	return &LaziestFair{last: make(map[int]int)}
+	return &LaziestFair{}
 }
 
 // Name implements model.Scheduler.
@@ -130,50 +182,51 @@ func (*LaziestFair) Name() string { return "laziest-fair" }
 
 // Select implements model.Scheduler.
 func (s *LaziestFair) Select(step int, sys *model.System, cfg *model.Config) []int {
-	type cand struct {
-		p        int
-		last     int
-		disabled bool
-		deg      int
+	return s.pick(step, sys, func(p int) bool { return model.Enabled(sys, cfg, p) })
+}
+
+// SelectTracked implements model.TrackedScheduler: identical selections,
+// with enabledness answered by the simulator's incremental tracker.
+func (s *LaziestFair) SelectTracked(step int, sys *model.System, _ *model.Config, en model.EnabledView) []int {
+	return s.pick(step, sys, en.Enabled)
+}
+
+func (s *LaziestFair) pick(step int, sys *model.System, enabled func(p int) bool) []int {
+	n := sys.N()
+	for len(s.last) < n { // grow, keeping history (ids are stable)
+		s.last = append(s.last, -1)
 	}
-	cands := make([]cand, 0, sys.N())
-	for p := 0; p < sys.N(); p++ {
-		last, ok := s.last[p]
-		if !ok {
-			last = -1
+	minLast := s.last[0]
+	for p := 1; p < n; p++ {
+		if s.last[p] < minLast {
+			minLast = s.last[p]
 		}
-		cands = append(cands, cand{
-			p:        p,
-			last:     last,
-			disabled: !model.Enabled(sys, cfg, p),
-			deg:      sys.Graph().Degree(p),
-		})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.last != b.last {
-			return a.last < b.last
+	chosen, chosenDisabled, chosenDeg := -1, false, 0
+	for p := 0; p < n; p++ {
+		if s.last[p] != minLast {
+			continue
 		}
-		if a.disabled != b.disabled {
-			return a.disabled
+		disabled := !enabled(p)
+		deg := sys.Graph().Degree(p)
+		if chosen < 0 ||
+			(disabled != chosenDisabled && disabled) ||
+			(disabled == chosenDisabled && deg < chosenDeg) {
+			chosen, chosenDisabled, chosenDeg = p, disabled, deg
 		}
-		if a.deg != b.deg {
-			return a.deg < b.deg
-		}
-		return a.p < b.p
-	})
-	chosen := cands[0].p
+	}
 	s.last[chosen] = step
-	return []int{chosen}
+	s.sel[0] = chosen
+	return s.sel[:]
 }
 
 // ByName constructs a scheduler from its CLI name.
 func ByName(name string, seed uint64) (model.Scheduler, error) {
 	switch name {
 	case "synchronous", "sync":
-		return Synchronous{}, nil
+		return NewSynchronous(), nil
 	case "central-rr":
-		return CentralRoundRobin{}, nil
+		return NewCentralRoundRobin(), nil
 	case "central-random":
 		return NewCentralRandom(seed), nil
 	case "random-subset", "distributed":

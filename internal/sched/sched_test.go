@@ -92,7 +92,7 @@ func TestFairnessWindow(t *testing.T) {
 
 func TestSynchronousSelectsAll(t *testing.T) {
 	sys := testSystem(t)
-	sel := Synchronous{}.Select(0, sys, model.NewZeroConfig(sys))
+	sel := NewSynchronous().Select(0, sys, model.NewZeroConfig(sys))
 	if len(sel) != sys.N() {
 		t.Fatalf("synchronous selected %d processes", len(sel))
 	}
@@ -102,7 +102,7 @@ func TestCentralRoundRobinCycle(t *testing.T) {
 	sys := testSystem(t)
 	cfg := model.NewZeroConfig(sys)
 	for step := 0; step < 12; step++ {
-		sel := CentralRoundRobin{}.Select(step, sys, cfg)
+		sel := NewCentralRoundRobin().Select(step, sys, cfg)
 		if len(sel) != 1 || sel[0] != step%6 {
 			t.Fatalf("step %d: selected %v", step, sel)
 		}
@@ -159,6 +159,48 @@ func TestLaziestFairWindow(t *testing.T) {
 			t.Fatalf("process %d starved for %d steps", p, step-last[p])
 		}
 		last[p] = step
+	}
+}
+
+func TestLaziestFairTieBreaks(t *testing.T) {
+	// On the first step every process is tied at last = -1: the daemon
+	// must prefer a disabled process, then lower degree, then lower id.
+	// On a star with the hub's value changed, the leaves are enabled
+	// (they see the hub) and the hub is enabled too — so with everyone
+	// enabled the pick falls to the lowest-degree, lowest-id process;
+	// with everyone disabled (zero config) it picks the lowest-degree,
+	// lowest-id among the disabled.
+	star := graph.Star(5) // process 0 is the hub (degree 4)
+	spec := &model.Spec{
+		Name: "T",
+		Comm: []model.VarSpec{{Name: "X", Domain: model.FixedDomain(4)}},
+		Actions: []model.Action{{
+			Name:  "copy",
+			Guard: func(c *model.Ctx) bool { return c.Comm(0) != c.NeighborComm(1, 0) },
+			Apply: func(c *model.Ctx) { c.SetComm(0, c.NeighborComm(1, 0)) },
+		}},
+	}
+	sys, err := model.NewSystem(star, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All disabled: ties broken by degree then id — a leaf, process 1.
+	sel := NewLaziestFair().Select(0, sys, model.NewZeroConfig(sys))
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("all-disabled tie-break selected %v, want [1]", sel)
+	}
+
+	// Hub differs: every leaf (and the hub) is enabled except none —
+	// prefer a *disabled* process if one exists. Setting one leaf equal
+	// to the hub disables it; it must win the tie.
+	cfg := model.NewZeroConfig(sys)
+	cfg.Comm[0][0] = 2 // hub: leaves now see a conflict and are enabled
+	cfg.Comm[3][0] = 2 // leaf 3 matches the hub: disabled
+	// hub is enabled too (it reads leaf via port 1).
+	sel = NewLaziestFair().Select(0, sys, cfg)
+	if len(sel) != 1 || sel[0] != 3 {
+		t.Fatalf("disabled-first tie-break selected %v, want [3]", sel)
 	}
 }
 

@@ -55,7 +55,7 @@ func TestKEfficiencyMeasured(t *testing.T) {
 	rec := NewRecorder(g.N())
 	cfg := model.NewZeroConfig(sysTwo)
 	cfg.Comm[0][0] = 3
-	sim, err := model.NewSimulator(sysTwo, cfg, sched.CentralRoundRobin{}, 1, rec)
+	sim, err := model.NewSimulator(sysTwo, cfg, sched.NewCentralRoundRobin(), 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestKEfficiencyMeasured(t *testing.T) {
 	rec1 := NewRecorder(g.N())
 	cfg1 := model.NewZeroConfig(sysOne)
 	cfg1.Comm[0][0] = 3
-	sim1, err := model.NewSimulator(sysOne, cfg1, sched.CentralRoundRobin{}, 1, rec1)
+	sim1, err := model.NewSimulator(sysOne, cfg1, sched.NewCentralRoundRobin(), 1, rec1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestBitsAccounting(t *testing.T) {
 	rec := NewRecorder(g.N())
 	cfg := model.NewZeroConfig(sys)
 	cfg.Comm[0][0] = 1
-	sim, err := model.NewSimulator(sys, cfg, sched.CentralRoundRobin{}, 1, rec)
+	sim, err := model.NewSimulator(sys, cfg, sched.NewCentralRoundRobin(), 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestReadDedupWithinStep(t *testing.T) {
 	rec := NewRecorder(g.N())
 	cfg := model.NewZeroConfig(sys)
 	cfg.Comm[1][0] = 5
-	sim, err := model.NewSimulator(sys, cfg, sched.CentralRoundRobin{}, 1, rec)
+	sim, err := model.NewSimulator(sys, cfg, sched.NewCentralRoundRobin(), 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestSuffixTracking(t *testing.T) {
 	rec := NewRecorder(g.N())
 	cfg := model.NewZeroConfig(sys)
 	cfg.Comm[2][0] = 7
-	sim, err := model.NewSimulator(sys, cfg, sched.CentralRoundRobin{}, 1, rec)
+	sim, err := model.NewSimulator(sys, cfg, sched.NewCentralRoundRobin(), 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestMovesAndDisabledCounts(t *testing.T) {
 	}
 	rec := NewRecorder(g.N())
 	cfg := model.NewZeroConfig(sys) // all equal: everyone disabled
-	sim, err := model.NewSimulator(sys, cfg, sched.Synchronous{}, 1, rec)
+	sim, err := model.NewSimulator(sys, cfg, sched.NewSynchronous(), 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestRoundsCounted(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := NewRecorder(g.N())
-	sim, err := model.NewSimulator(sys, model.NewZeroConfig(sys), sched.CentralRoundRobin{}, 1, rec)
+	sim, err := model.NewSimulator(sys, model.NewZeroConfig(sys), sched.NewCentralRoundRobin(), 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
