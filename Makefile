@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test test-race bench bench-json fmt vet check
+.PHONY: build test test-race bench bench-json bench-diff bench-diff-committed fmt vet check
 
 build:
 	$(GO) build ./...
@@ -22,19 +22,40 @@ test-full:
 	$(GO) test -timeout 20m ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model ./internal/core ./internal/trace
 
-# Machine-readable perf trajectory: run the step-engine core benchmarks
-# and record (name, ns/op, allocs/op) in BENCH_2.json. The committed
-# copy is the canonical baseline for this PR's engine (numbers are
-# machine-specific — regenerate locally only to compare shapes, not to
-# commit); CI uploads a fresh run as an artifact on every push. Bump the
-# N in the filename when a later PR resets the baseline.
-BENCH_CORE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkSimulatorStep'
+# Machine-readable perf trajectory: run the engine core benchmarks (step
+# engine, enabled tracker, trial pipeline, recorder) and record
+# (name, ns/op, allocs/op) in BENCH_3.json. The committed copy is the
+# canonical baseline for this PR's engine (numbers are machine-specific —
+# regenerate locally only to compare shapes, not to commit); CI uploads a
+# fresh run as an artifact on every push. Bump the N in the filename when
+# a later PR resets the baseline.
+BENCH_CORE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkSimulatorStep|BenchmarkTrialLoop|BenchmarkRecorderReadFullStep'
+BENCH_PKGS = ./internal/model ./internal/core ./internal/trace .
 bench-json:
-	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' ./internal/model . \
-		| $(GO) run ./cmd/benchjson > BENCH_2.json
-	@echo wrote BENCH_2.json
+	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson > BENCH_3.json
+	@echo wrote BENCH_3.json
+
+# Regression gates (benchjson -diff): fail on >25% ns/op regressions or
+# any allocs/op growth in the model/trace microbenchmarks (the trial-loop
+# and experiment benches run whole executions and are too noisy to gate).
+BENCH_GATE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkRecorderReadFullStep'
+
+# bench-diff: fresh local run vs the committed current baseline — the
+# pre-commit regression check. Numbers are machine-specific, so expect
+# noise when your machine differs from the baseline's.
+bench-diff:
+	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson > /tmp/bench-head.json
+	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_3.json /tmp/bench-head.json
+
+# bench-diff-committed: committed previous baseline vs committed current
+# baseline — both measured on the same machine, so the gate is
+# deterministic. CI runs this on every push.
+bench-diff-committed:
+	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_2.json BENCH_3.json
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

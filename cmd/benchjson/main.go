@@ -10,14 +10,29 @@
 //
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
 // ignored, so the whole `go test` output can be piped through unchanged.
+//
+// # Diff mode
+//
+//	benchjson -diff OLD.json NEW.json [-max-regress 25] [-filter REGEX]
+//
+// compares two result files by benchmark name (CPU-count suffixes like
+// "-8" are ignored, so files from machines with different core counts
+// line up) and prints a delta table. The exit status is 1 when any
+// benchmark matching -filter regressed by more than -max-regress percent
+// in ns/op, or regressed at all in allocs/op (allocation counts are
+// machine-independent, so they gate exactly). Benchmarks present in only
+// one file are reported but never fail the diff.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,6 +47,30 @@ type Result struct {
 }
 
 func main() {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	var (
+		diff       = fs.Bool("diff", false, "compare two BENCH_*.json files (args: old new) instead of parsing stdin")
+		maxRegress = fs.Float64("max-regress", 25, "diff mode: maximum tolerated ns/op regression in percent")
+		filter     = fs.String("filter", "", "diff mode: only benchmarks matching this regexp gate the exit status")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := runDiff(os.Stdout, fs.Arg(0), fs.Arg(1), *maxRegress, *filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	results, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -47,6 +86,96 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// canonName strips the trailing GOMAXPROCS suffix ("-8") go test appends
+// to benchmark names, so results from different machines compare.
+func canonName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func loadResults(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		out[canonName(r.Name)] = r
+	}
+	return out, nil
+}
+
+// runDiff prints a comparison of two result files and reports whether
+// the gated benchmarks stayed within the regression budget.
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64, filter string) (bool, error) {
+	var re *regexp.Regexp
+	if filter != "" {
+		var err error
+		re, err = regexp.Compile(filter)
+		if err != nil {
+			return false, fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	oldRes, err := loadResults(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRes, err := loadResults(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ok := true
+	fmt.Fprintf(w, "%-55s %12s %12s %8s %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	for _, name := range names {
+		nw := newRes[name]
+		od, had := oldRes[name]
+		if !had {
+			fmt.Fprintf(w, "%-55s %12s %12.1f %8s %s\n", name, "—", nw.NsPerOp, "—", "new")
+			continue
+		}
+		deltaPct := 0.0
+		if od.NsPerOp > 0 {
+			deltaPct = (nw.NsPerOp - od.NsPerOp) / od.NsPerOp * 100
+		}
+		gated := re == nil || re.MatchString(name)
+		verdict := "ok"
+		switch {
+		case !gated:
+			verdict = "ungated"
+		case nw.AllocsPerOp > od.AllocsPerOp:
+			verdict = fmt.Sprintf("FAIL (allocs %d -> %d)", od.AllocsPerOp, nw.AllocsPerOp)
+			ok = false
+		case deltaPct > maxRegress:
+			verdict = fmt.Sprintf("FAIL (> %.0f%%)", maxRegress)
+			ok = false
+		}
+		fmt.Fprintf(w, "%-55s %12.1f %12.1f %+7.1f%% %s\n", name, od.NsPerOp, nw.NsPerOp, deltaPct, verdict)
+	}
+	for name := range oldRes {
+		if _, still := newRes[name]; !still {
+			fmt.Fprintf(w, "%-55s: dropped from new file\n", name)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(w, "REGRESSION: some benchmarks exceeded the %.0f%% ns/op budget or grew allocs/op\n", maxRegress)
+	}
+	return ok, nil
 }
 
 // parse extracts benchmark results from go test -bench output. The line

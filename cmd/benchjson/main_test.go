@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,5 +46,70 @@ func TestParseEmpty(t *testing.T) {
 	}
 	if results == nil || len(results) != 0 {
 		t.Fatalf("want empty non-nil result set, got %#v", results)
+	}
+}
+
+func TestCanonName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkExecuteStep/arena-central-rr-8": "BenchmarkExecuteStep/arena-central-rr",
+		"BenchmarkSimulatorStep-16":               "BenchmarkSimulatorStep",
+		"BenchmarkSimulatorStep":                  "BenchmarkSimulatorStep",
+	} {
+		if got := canonName(in); got != want {
+			t.Errorf("canonName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeResults(t *testing.T, path string, results []Result) {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffMode(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeResults(t, oldPath, []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkB-8", NsPerOp: 100},
+		{Name: "BenchmarkGone-8", NsPerOp: 5},
+	})
+
+	// Within budget (and a -16 suffix: canonical names must line up).
+	writeResults(t, newPath, []Result{
+		{Name: "BenchmarkA-16", NsPerOp: 110, AllocsPerOp: 2},
+		{Name: "BenchmarkB-16", NsPerOp: 90},
+		{Name: "BenchmarkNew-16", NsPerOp: 1},
+	})
+	var sb strings.Builder
+	ok, err := runDiff(&sb, oldPath, newPath, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("10%% regression failed a 25%% budget:\n%s", sb.String())
+	}
+
+	// ns/op regression beyond budget.
+	writeResults(t, newPath, []Result{{Name: "BenchmarkA-8", NsPerOp: 150, AllocsPerOp: 2}})
+	if ok, err = runDiff(&sb, oldPath, newPath, 25, ""); err != nil || ok {
+		t.Fatalf("50%% regression passed a 25%% budget (ok=%v err=%v)", ok, err)
+	}
+	// ...but an ungated name passes under -filter.
+	if ok, err = runDiff(&sb, oldPath, newPath, 25, "BenchmarkB"); err != nil || !ok {
+		t.Fatalf("filtered diff gated an unmatched benchmark (ok=%v err=%v)", ok, err)
+	}
+
+	// Alloc growth fails regardless of ns/op.
+	writeResults(t, newPath, []Result{{Name: "BenchmarkA-8", NsPerOp: 50, AllocsPerOp: 3}})
+	if ok, err = runDiff(&sb, oldPath, newPath, 25, ""); err != nil || ok {
+		t.Fatalf("allocs/op growth passed the diff (ok=%v err=%v)", ok, err)
 	}
 }

@@ -18,8 +18,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/model"
 	"repro/internal/trace"
 )
@@ -64,40 +62,15 @@ type RunResult struct {
 }
 
 // Run executes a system to silence and measures it. cfg0 is not mutated.
+// It is the one-shot convenience form of Runner.Run on a throwaway
+// Runner; loops over many trials should reuse one Runner instead.
 func Run(sys *model.System, cfg0 *model.Config, opts RunOptions) (*RunResult, error) {
-	if opts.Scheduler == nil {
-		return nil, fmt.Errorf("core: RunOptions.Scheduler is required")
-	}
-	if opts.MaxSteps <= 0 {
-		return nil, fmt.Errorf("core: RunOptions.MaxSteps must be positive")
-	}
-	rec := trace.NewRecorder(sys.N())
-	sim, err := model.NewSimulator(sys, cfg0, opts.Scheduler, opts.Seed, rec)
-	if err != nil {
+	rn := NewRunner()
+	rn.InitialConfig(sys).CopyFrom(cfg0)
+	res := &RunResult{}
+	if err := rn.Run(sys, opts, res); err != nil {
 		return nil, err
 	}
-	checkEvery := opts.CheckEvery
-	if checkEvery < 1 {
-		checkEvery = 1
-	}
-	silent, err := sim.RunUntilSilent(opts.MaxSteps, checkEvery)
-	if err != nil {
-		return nil, err
-	}
-	res := &RunResult{
-		Silent:          silent,
-		StepsToSilence:  sim.Steps(),
-		RoundsToSilence: sim.Rounds(),
-	}
-	if silent && opts.Legitimate != nil {
-		res.LegitimateAtSilence = opts.Legitimate(sys, sim.Config())
-	}
-	if silent && opts.SuffixRounds > 0 {
-		rec.MarkSuffix()
-		sim.RunRounds(opts.SuffixRounds)
-	}
-	res.Report = rec.Report()
-	res.Final = sim.Config()
 	return res, nil
 }
 
@@ -107,7 +80,11 @@ type Convergence struct {
 	Runs int
 	// Converged is how many reached silence within budget.
 	Converged int
-	// LegitimateAll reports whether every silent run was legitimate.
+	// LegitimateAll reports whether every run reached a legitimate silent
+	// configuration: a run that fails to converge falsifies it just like a
+	// silent-but-illegitimate one. With zero runs it is vacuously true
+	// (the empty conjunction), so callers must check Runs > 0 before
+	// reading it as a positive verdict.
 	LegitimateAll bool
 	// MaxRounds and MaxSteps are maxima over converged runs.
 	MaxRounds int
@@ -116,27 +93,38 @@ type Convergence struct {
 	MaxKEfficiency int
 }
 
+// NewConvergence returns an empty summary ready for Add (LegitimateAll
+// starts vacuously true).
+func NewConvergence() Convergence { return Convergence{LegitimateAll: true} }
+
+// Add folds one run into the summary. It is the streaming form of
+// Aggregate: results folded one at a time need never be retained.
+func (c *Convergence) Add(r *RunResult) {
+	c.Runs++
+	if !r.Silent {
+		c.LegitimateAll = false
+		return
+	}
+	c.Converged++
+	if !r.LegitimateAtSilence {
+		c.LegitimateAll = false
+	}
+	if r.RoundsToSilence > c.MaxRounds {
+		c.MaxRounds = r.RoundsToSilence
+	}
+	if r.StepsToSilence > c.MaxSteps {
+		c.MaxSteps = r.StepsToSilence
+	}
+	if r.Report.KEfficiency > c.MaxKEfficiency {
+		c.MaxKEfficiency = r.Report.KEfficiency
+	}
+}
+
 // Aggregate folds run results into a Convergence summary.
 func Aggregate(results []*RunResult) Convergence {
-	agg := Convergence{Runs: len(results), LegitimateAll: true}
+	agg := NewConvergence()
 	for _, r := range results {
-		if !r.Silent {
-			agg.LegitimateAll = agg.LegitimateAll && false
-			continue
-		}
-		agg.Converged++
-		if !r.LegitimateAtSilence {
-			agg.LegitimateAll = false
-		}
-		if r.RoundsToSilence > agg.MaxRounds {
-			agg.MaxRounds = r.RoundsToSilence
-		}
-		if r.StepsToSilence > agg.MaxSteps {
-			agg.MaxSteps = r.StepsToSilence
-		}
-		if r.Report.KEfficiency > agg.MaxKEfficiency {
-			agg.MaxKEfficiency = r.Report.KEfficiency
-		}
+		agg.Add(r)
 	}
 	return agg
 }

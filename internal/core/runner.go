@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Runner is a reusable trial-execution context: one resettable recorder,
+// simulator, scheduler slot and initial-configuration buffer that
+// together make the steady-state trial loop — setup, run-to-silence,
+// report — allocation-free (excluding the amortized round-boundary
+// append). The experiment pool builds one Runner per worker and reuses it
+// across every trial the worker executes; the free-standing Run keeps its
+// one-shot semantics as a thin wrapper over a throwaway Runner.
+//
+// A Runner is NOT safe for concurrent use. Rebinding it to a different
+// system reallocates the per-system buffers, so workers should process
+// trials of one cell consecutively (the pool's job order does).
+type Runner struct {
+	rec *trace.Recorder
+	sim model.Simulator
+
+	sys *model.System // system the initial-config buffer is bound to
+	cfg *model.Config // runner-owned initial configuration buffer
+
+	schedName string
+	sched     model.Scheduler
+
+	initSrc  rng.SplitMix
+	initRand *rng.Rand
+}
+
+// NewRunner returns an empty Runner; buffers bind lazily on first use.
+func NewRunner() *Runner {
+	r := &Runner{}
+	r.initRand = rng.FromSource(&r.initSrc)
+	return r
+}
+
+// InitialConfig returns the runner-owned initial-configuration buffer
+// bound to sys (rebuilt only when the system changes). Callers assemble
+// the trial's initial configuration in it — model.RandomizeConfig, a
+// Config.CopyFrom of a snapshot, fault injection — and then call Run,
+// which adopts the buffer as the execution's live configuration.
+func (r *Runner) InitialConfig(sys *model.System) *model.Config {
+	if r.sys != sys || r.cfg == nil {
+		r.sys = sys
+		r.cfg = model.NewZeroConfig(sys)
+	}
+	return r.cfg
+}
+
+// resettableScheduler matches sched.Resettable structurally (core does
+// not import internal/sched).
+type resettableScheduler interface{ Reset(seed uint64) }
+
+// Scheduler returns the scheduler for a trial: when the runner's cached
+// scheduler was built under the same name and supports seed reset, it is
+// rewound to seed — equivalent to a fresh construction — and reused;
+// otherwise mk(seed) builds and caches a new one. The name must uniquely
+// determine mk's behavior (the pool uses its stable scheduler names).
+func (r *Runner) Scheduler(name string, seed uint64, mk func(uint64) model.Scheduler) model.Scheduler {
+	if r.sched != nil && name != "" && r.schedName == name {
+		if rs, ok := r.sched.(resettableScheduler); ok {
+			rs.Reset(seed)
+			return r.sched
+		}
+	}
+	r.sched = mk(seed)
+	r.schedName = name
+	return r.sched
+}
+
+// Run executes one trial from the runner's initial-configuration buffer
+// (see InitialConfig) and fills res in place, reusing res's report slices
+// and final-configuration buffer across calls. res never aliases
+// runner-owned memory, so materialized results stay valid after the
+// runner's next trial. The initial-configuration buffer is consumed: the
+// run mutates it, and the next trial must refill it.
+func (r *Runner) Run(sys *model.System, opts RunOptions, res *RunResult) error {
+	if opts.Scheduler == nil {
+		return fmt.Errorf("core: RunOptions.Scheduler is required")
+	}
+	if opts.MaxSteps <= 0 {
+		return fmt.Errorf("core: RunOptions.MaxSteps must be positive")
+	}
+	if r.sys != sys || r.cfg == nil {
+		return fmt.Errorf("core: Runner.Run without an initial configuration for this system (call InitialConfig first)")
+	}
+	if r.rec == nil {
+		r.rec = trace.NewRecorder(sys.N())
+	} else {
+		r.rec.Reset(sys.N())
+	}
+	if err := r.sim.Reset(sys, r.cfg, opts.Scheduler, opts.Seed, r.rec); err != nil {
+		return err
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	silent, err := r.sim.RunUntilSilent(opts.MaxSteps, checkEvery)
+	if err != nil {
+		return err
+	}
+	res.Silent = silent
+	res.StepsToSilence = r.sim.Steps()
+	res.RoundsToSilence = r.sim.Rounds()
+	res.LegitimateAtSilence = false
+	if silent && opts.Legitimate != nil {
+		res.LegitimateAtSilence = opts.Legitimate(sys, r.sim.Config())
+	}
+	if silent && opts.SuffixRounds > 0 {
+		r.rec.MarkSuffix()
+		r.sim.RunRounds(opts.SuffixRounds)
+	}
+	r.rec.ReportInto(&res.Report)
+	if res.Final == nil {
+		res.Final = model.NewZeroConfig(sys)
+	}
+	res.Final.CopyFrom(r.sim.Config())
+	return nil
+}
+
+// RunRandom executes one adversarial trial: the initial configuration is
+// drawn uniformly at random from opts.Seed — exactly the configuration
+// model.NewRandomConfig(sys, rng.New(opts.Seed)) would build — directly
+// into the runner-owned buffer, skipping the one-shot path's defensive
+// clone.
+func (r *Runner) RunRandom(sys *model.System, opts RunOptions, res *RunResult) error {
+	cfg := r.InitialConfig(sys)
+	r.initSrc.Reseed(opts.Seed)
+	model.RandomizeConfig(sys, cfg, r.initRand)
+	return r.Run(sys, opts, res)
+}

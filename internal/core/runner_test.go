@@ -1,0 +1,213 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocols/coloring"
+	"repro/internal/protocols/mis"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// runnerTestSystems builds a small heterogeneous suite: different graphs,
+// protocols, and state shapes, so runner reuse is exercised across
+// rebinds.
+func runnerTestSystems(t *testing.T) []struct {
+	name  string
+	sys   *model.System
+	legit func(*model.System, *model.Config) bool
+} {
+	t.Helper()
+	colSys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSys, err := model.NewSystem(graph.Star(6), coloring.BaselineSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Grid(3, 3)
+	misSys, err := mis.NewSystem(g, mis.Spec(g.MaxDegree()+1), graph.GreedyLocalColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name  string
+		sys   *model.System
+		legit func(*model.System, *model.Config) bool
+	}{
+		{"coloring-cycle9", colSys, coloring.IsLegitimate},
+		{"coloring-baseline-star6", baseSys, coloring.IsLegitimate},
+		{"mis-grid3x3", misSys, mis.IsLegitimate},
+	}
+}
+
+// TestRunnerMatchesRun is the pooled/unpooled equivalence at the run
+// level: one Runner reused across systems, schedulers and seeds must
+// produce results deep-equal to the one-shot Run path (which builds a
+// fresh recorder, simulator and scheduler per call).
+func TestRunnerMatchesRun(t *testing.T) {
+	t.Parallel()
+	systems := runnerTestSystems(t)
+	schedulers := []struct {
+		name string
+		mk   func(uint64) model.Scheduler
+	}{
+		{"random-subset", func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }},
+		{"synchronous", func(uint64) model.Scheduler { return sched.NewSynchronous() }},
+		{"central-rr", func(uint64) model.Scheduler { return sched.NewCentralRoundRobin() }},
+		{"laziest-fair", func(uint64) model.Scheduler { return sched.NewLaziestFair() }},
+	}
+	rn := NewRunner()
+	var res RunResult // reused across every trial below
+	for _, ts := range systems {
+		for _, sc := range schedulers {
+			for seed := uint64(1); seed <= 3; seed++ {
+				opts := RunOptions{
+					Seed:         seed,
+					MaxSteps:     200000,
+					CheckEvery:   1,
+					SuffixRounds: 4,
+					Legitimate:   ts.legit,
+				}
+
+				opts.Scheduler = sc.mk(seed)
+				initial := model.NewRandomConfig(ts.sys, rng.New(seed))
+				want, err := Run(ts.sys, initial, opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%d: one-shot: %v", ts.name, sc.name, seed, err)
+				}
+
+				opts.Scheduler = rn.Scheduler(sc.name, seed, sc.mk)
+				if err := rn.RunRandom(ts.sys, opts, &res); err != nil {
+					t.Fatalf("%s/%s/%d: runner: %v", ts.name, sc.name, seed, err)
+				}
+				if !reflect.DeepEqual(*want, res) {
+					t.Fatalf("%s/%s/%d: runner result differs from one-shot Run:\nwant %+v\ngot  %+v",
+						ts.name, sc.name, seed, *want, res)
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerResultsDoNotAliasRunner: a materialized result must survive
+// the runner's next trial untouched.
+func TestRunnerResultsDoNotAliasRunner(t *testing.T) {
+	t.Parallel()
+	systems := runnerTestSystems(t)
+	sys := systems[0].sys
+	mk := func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }
+	rn := NewRunner()
+
+	run := func(seed uint64) *RunResult {
+		res := &RunResult{}
+		err := rn.RunRandom(sys, RunOptions{
+			Scheduler: rn.Scheduler("random-subset", seed, mk),
+			Seed:      seed, MaxSteps: 200000, SuffixRounds: 2,
+		}, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run(7)
+	snapshot := *first
+	snapshot.Final = first.Final.Clone()
+	snapshot.Report.ReadSetSizes = append([]int(nil), first.Report.ReadSetSizes...)
+	snapshot.Report.SuffixReadSetSizes = append([]int(nil), first.Report.SuffixReadSetSizes...)
+
+	run(8) // second trial on the same runner
+	if !first.Final.Equal(snapshot.Final) {
+		t.Fatal("first trial's Final mutated by the runner's second trial")
+	}
+	if !reflect.DeepEqual(first.Report, snapshot.Report) {
+		t.Fatal("first trial's Report mutated by the runner's second trial")
+	}
+}
+
+// TestTrialLoopZeroAlloc is the tentpole acceptance check: a complete
+// steady-state pooled trial — scheduler reset, random initial
+// configuration, recorder+simulator reset, run to silence, suffix
+// recording, ReportInto, final-config copy — allocates nothing beyond
+// the amortized round-boundary append.
+func TestTrialLoopZeroAlloc(t *testing.T) {
+	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }
+	rn := NewRunner()
+	var res RunResult
+	seed := uint64(0)
+	trial := func() {
+		seed++
+		opts := RunOptions{
+			Scheduler:    rn.Scheduler("random-subset", seed, mk),
+			Seed:         seed,
+			MaxSteps:     200000,
+			CheckEvery:   1,
+			SuffixRounds: 2,
+		}
+		if err := rn.RunRandom(sys, opts, &res); err != nil {
+			t.Fatal(err)
+		}
+		if !res.Silent {
+			t.Fatal("trial did not converge")
+		}
+	}
+	// Warm up: bind buffers, grow the round-boundary and report slices to
+	// their steady-state capacity.
+	for i := 0; i < 25; i++ {
+		trial()
+	}
+	if avg := testing.AllocsPerRun(100, trial); avg != 0 {
+		t.Fatalf("steady-state trial loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkTrialLoop measures one complete pooled trial (reset → run to
+// silence → report) on the reusable Runner; BenchmarkTrialLoopOneShot is
+// the same workload on the one-shot Run path for comparison.
+func BenchmarkTrialLoop(b *testing.B) {
+	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }
+	rn := NewRunner()
+	var res RunResult
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i)%64 + 1
+		err := rn.RunRandom(sys, RunOptions{
+			Scheduler: rn.Scheduler("random-subset", seed, mk),
+			Seed:      seed, MaxSteps: 200000, CheckEvery: 1,
+		}, &res)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrialLoopOneShot(b *testing.B) {
+	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i)%64 + 1
+		initial := model.NewRandomConfig(sys, rng.New(seed))
+		_, err := Run(sys, initial, RunOptions{
+			Scheduler: sched.NewRandomSubset(seed),
+			Seed:      seed, MaxSteps: 200000, CheckEvery: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

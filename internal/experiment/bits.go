@@ -29,7 +29,15 @@ func E2CommunicationBits(cfg Config) (*Result, error) {
 			ProtoCell{Graph: g, Family: FamColoring, SuffixRounds: 2},
 			ProtoCell{Graph: g, Family: FamColoringBaseline, SuffixRounds: 2})
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	// Streaming aggregation: only the per-cell maximum witnessed
+	// communication complexity is kept.
+	maxBits := make([]int, len(specs))
+	err = RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		if res.Report.CommComplexityBits > maxBits[cell] {
+			maxBits[cell] = res.Report.CommComplexityBits
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -42,18 +50,7 @@ func E2CommunicationBits(cfg Config) (*Result, error) {
 		wantEff := perColor
 		wantBase := g.MaxDegree() * perColor
 
-		eff, base := cells[2*i], cells[2*i+1]
-		maxEffBits, maxBaseBits := 0, 0
-		for _, r := range eff {
-			if r.Report.CommComplexityBits > maxEffBits {
-				maxEffBits = r.Report.CommComplexityBits
-			}
-		}
-		for _, r := range base {
-			if r.Report.CommComplexityBits > maxBaseBits {
-				maxBaseBits = r.Report.CommComplexityBits
-			}
-		}
+		maxEffBits, maxBaseBits := maxBits[2*i], maxBits[2*i+1]
 		// Space complexity of a maximum-degree process of the efficient
 		// protocol: comm var log(Δ+1) + internal log(δ.p) + measured
 		// communication complexity.
@@ -104,17 +101,41 @@ func E10StabilizedOverhead(cfg Config) (*Result, error) {
 		{FamMIS, FamMISBaseline},
 		{FamMatching, FamMatchingBaseline},
 	}
+	type cellMeta struct {
+		family, graphName string
+	}
 	var specs []ProtoCell
+	var metas []cellMeta
 	for _, g := range graphs {
 		for _, pair := range pairs {
 			for _, family := range pair {
 				specs = append(specs, ProtoCell{
 					Graph: g, Family: family, SuffixRounds: 4 * g.N(),
 				})
+				metas = append(metas, cellMeta{family: family, graphName: g.Name()})
 			}
 		}
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	// Streaming aggregation: per-cell maxima of the suffix overhead
+	// rates; a non-stabilizing run aborts the experiment as before.
+	type acc struct {
+		reads, bits float64
+	}
+	accs := make([]acc, len(specs))
+	err = RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		if !res.Silent {
+			return fmt.Errorf("experiment: %s on %s did not stabilize",
+				metas[cell].family, metas[cell].graphName)
+		}
+		a := &accs[cell]
+		if v := res.Report.SuffixAvgReadsPerSelection(); v > a.reads {
+			a.reads = v
+		}
+		if v := res.Report.SuffixAvgBitsPerSelection(); v > a.bits {
+			a.bits = v
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -125,14 +146,8 @@ func E10StabilizedOverhead(cfg Config) (*Result, error) {
 	idx := 0
 	for _, g := range graphs {
 		for _, pair := range pairs {
-			effReads, effBits, err := suffixOverhead(cells[idx], pair[0], g.Name())
-			if err != nil {
-				return nil, err
-			}
-			baseReads, baseBits, err := suffixOverhead(cells[idx+1], pair[1], g.Name())
-			if err != nil {
-				return nil, err
-			}
+			effReads, effBits := accs[idx].reads, accs[idx].bits
+			baseReads, baseBits := accs[idx+1].reads, accs[idx+1].bits
 			idx += 2
 			// Star graphs aside, the baseline must read strictly more
 			// than the efficient protocol once stabilized (every
@@ -156,22 +171,4 @@ func E10StabilizedOverhead(cfg Config) (*Result, error) {
 		Pass:     pass,
 		Notes:    "suffix of 4n rounds after silence under the random-subset scheduler",
 	}, nil
-}
-
-// suffixOverhead reduces one cell's trials to the mean distinct-neighbor
-// reads and bits per selection over the post-silence suffix, maximized
-// over trials.
-func suffixOverhead(results []*core.RunResult, family, graphName string) (reads, bits float64, err error) {
-	for _, r := range results {
-		if !r.Silent {
-			return 0, 0, fmt.Errorf("experiment: %s on %s did not stabilize", family, graphName)
-		}
-		if v := r.Report.SuffixAvgReadsPerSelection(); v > reads {
-			reads = v
-		}
-		if v := r.Report.SuffixAvgBitsPerSelection(); v > bits {
-			bits = v
-		}
-	}
-	return reads, bits, nil
 }

@@ -25,7 +25,25 @@ func E1ColoringConvergence(cfg Config) (*Result, error) {
 	for i, g := range graphs {
 		specs[i] = ProtoCell{Graph: g, Family: FamColoring}
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	// Streaming aggregation: each trial folds into its graph's
+	// accumulator as it finishes (trial order per cell), so the grid of
+	// run results is never materialized.
+	type acc struct {
+		agg   core.Convergence
+		steps []float64
+	}
+	accs := make([]acc, len(graphs))
+	for i := range accs {
+		accs[i].agg = core.NewConvergence()
+	}
+	err = RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		a := &accs[cell]
+		a.agg.Add(res)
+		if res.Silent {
+			a.steps = append(a.steps, float64(res.StepsToSilence))
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -34,19 +52,12 @@ func E1ColoringConvergence(cfg Config) (*Result, error) {
 		"mean steps", "max rounds")
 	pass := true
 	for i, g := range graphs {
-		results := cells[i]
-		agg := core.Aggregate(results)
-		var steps []float64
-		for _, r := range results {
-			if r.Silent {
-				steps = append(steps, float64(r.StepsToSilence))
-			}
-		}
+		agg := accs[i].agg
 		ok := agg.Converged == agg.Runs && agg.LegitimateAll && agg.MaxKEfficiency <= 1
 		pass = pass && ok
 		table.AddRow(g.Name(), g.N(), g.M(), g.MaxDegree(), agg.Runs, agg.Converged,
 			agg.LegitimateAll, agg.MaxKEfficiency,
-			stats.Summarize(steps).Mean, agg.MaxRounds)
+			stats.Summarize(accs[i].steps).Mean, agg.MaxRounds)
 	}
 	return &Result{
 		ID:       "E1",
@@ -131,7 +142,30 @@ func roundBoundExperiment(cfg Config, spec roundBoundSpec) (*Result, error) {
 			})
 		}
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	// Streaming aggregation: one accumulator per (graph, scheduler) cell,
+	// merged per graph afterwards in scheduler order, so the mean is
+	// summed in exactly the materialized path's order.
+	type acc struct {
+		runs, converged, maxRounds int
+		illegitimate               bool
+		rounds                     []float64
+	}
+	accs := make([]acc, len(specs))
+	err = RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		a := &accs[cell]
+		a.runs++
+		if res.Silent {
+			a.converged++
+			a.rounds = append(a.rounds, float64(res.RoundsToSilence))
+			if res.RoundsToSilence > a.maxRounds {
+				a.maxRounds = res.RoundsToSilence
+			}
+			if !res.LegitimateAtSilence {
+				a.illegitimate = true
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -149,18 +183,15 @@ func roundBoundExperiment(cfg Config, spec roundBoundSpec) (*Result, error) {
 		maxRounds, converged, runs := 0, 0, 0
 		var rounds []float64
 		for si := range schedulers {
-			for _, r := range cells[gi*len(schedulers)+si] {
-				runs++
-				if r.Silent {
-					converged++
-					rounds = append(rounds, float64(r.RoundsToSilence))
-					if r.RoundsToSilence > maxRounds {
-						maxRounds = r.RoundsToSilence
-					}
-					if !r.LegitimateAtSilence {
-						pass = false
-					}
-				}
+			a := &accs[gi*len(schedulers)+si]
+			runs += a.runs
+			converged += a.converged
+			rounds = append(rounds, a.rounds...)
+			if a.maxRounds > maxRounds {
+				maxRounds = a.maxRounds
+			}
+			if a.illegitimate {
+				pass = false
 			}
 		}
 		within := converged == runs && maxRounds <= bound
@@ -208,7 +239,14 @@ func E11SchedulerRobustness(cfg Config) (*Result, error) {
 			})
 		}
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	aggs := make([]core.Convergence, len(specs))
+	for i := range aggs {
+		aggs[i] = core.NewConvergence()
+	}
+	err = RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		aggs[cell].Add(res)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +255,7 @@ func E11SchedulerRobustness(cfg Config) (*Result, error) {
 	pass := true
 	for fi, family := range families {
 		for ni, name := range names {
-			agg := core.Aggregate(cells[fi*len(names)+ni])
+			agg := aggs[fi*len(names)+ni]
 			ok := agg.Converged == agg.Runs && agg.LegitimateAll
 			pass = pass && ok
 			table.AddRow(family, name, fmt.Sprintf("%d/%d", agg.Converged, agg.Runs),

@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// legacyProtoCells rebuilds RunProtoCells' cells on the pre-Runner,
+// one-shot execution path: a fresh random configuration, scheduler,
+// recorder and simulator per trial via core.Run. The pooled engine must
+// reproduce its results exactly.
+func legacyProtoCells(t *testing.T, cfg Config, specs []ProtoCell) []Cell {
+	t.Helper()
+	cells := make([]Cell, len(specs))
+	for i, sp := range specs {
+		sys, legit, err := protocolSystem(sp.Graph, sp.Family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkSched, schedName := sp.Sched, sp.SchedName
+		if mkSched == nil {
+			mkSched, schedName = defaultSched, defaultSchedName
+		}
+		suffix := sp.SuffixRounds
+		cells[i] = Cell{
+			Key: fmt.Sprintf("%s|%s|%s|%d", sp.Graph.Name(), sp.Family, schedName, suffix),
+			Run: func(trial int, seed uint64) (*core.RunResult, error) {
+				initial := model.NewRandomConfig(sys, rng.New(seed))
+				return core.Run(sys, initial, core.RunOptions{
+					Scheduler:    mkSched(seed),
+					Seed:         seed,
+					MaxSteps:     cfg.MaxSteps,
+					CheckEvery:   1,
+					SuffixRounds: suffix,
+					Legitimate:   legit,
+				})
+			},
+		}
+	}
+	return cells
+}
+
+// TestPooledMatchesUnpooled is the engine's correctness contract at the
+// result level: the worker-affine Runner path (reused recorders,
+// simulators, schedulers, configuration buffers) produces run results
+// deep-equal to the one-shot path, trial by trial, across schedulers and
+// parallelism levels.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Seed: 11, Trials: 4, MaxSteps: 400000, Quick: true}
+	graphs, err := suite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []ProtoCell
+	for _, g := range graphs {
+		specs = append(specs,
+			ProtoCell{Graph: g, Family: FamColoring, SuffixRounds: 2},
+			ProtoCell{Graph: g, Family: FamMIS},
+			ProtoCell{Graph: g, Family: FamMatching,
+				Sched:     func(uint64) model.Scheduler { return sched.NewLaziestFair() },
+				SchedName: "laziest-fair"},
+		)
+	}
+	cfg.Parallelism = 1
+	want, err := RunCells(cfg, legacyProtoCells(t, cfg, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		cfg.Parallelism = par
+		got, err := RunProtoCells(cfg, specs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for ci := range want {
+			for ti := range want[ci] {
+				if !reflect.DeepEqual(want[ci][ti], got[ci][ti]) {
+					t.Fatalf("parallelism %d: cell %d (%s) trial %d differs:\nunpooled %+v\npooled   %+v",
+						par, ci, specs[ci].Family, ti, want[ci][ti], got[ci][ti])
+				}
+			}
+		}
+	}
+}
+
+// TestReduceMatchesMaterialized: the streaming path folds exactly the
+// materialized path's results, in trial order per cell.
+func TestReduceMatchesMaterialized(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Seed: 23, Trials: 3, MaxSteps: 400000, Quick: true}
+	graphs, err := suite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []ProtoCell
+	for _, g := range graphs {
+		specs = append(specs, ProtoCell{Graph: g, Family: FamColoring, SuffixRounds: 2})
+	}
+	cfg.Parallelism = 1
+	want, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		cfg.Parallelism = par
+		lastTrial := make([]int, len(specs))
+		for i := range lastTrial {
+			lastTrial[i] = -1
+		}
+		seen := make([]int, len(specs))
+		err := RunProtoCellsReduce(cfg, specs, func(cell, trial int, res *core.RunResult) error {
+			if trial != lastTrial[cell]+1 {
+				return fmt.Errorf("cell %d: fold at trial %d after trial %d (want in-order)", cell, trial, lastTrial[cell])
+			}
+			lastTrial[cell] = trial
+			seen[cell]++
+			if !reflect.DeepEqual(*want[cell][trial], *res) {
+				return fmt.Errorf("cell %d trial %d: streamed result differs from materialized", cell, trial)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for i, n := range seen {
+			if n != cfg.Trials {
+				t.Fatalf("parallelism %d: cell %d folded %d trials, want %d", par, i, n, cfg.Trials)
+			}
+		}
+	}
+}
+
+// TestRegistryTablesAcrossSeedsAndParallelism is the acceptance-level
+// determinism check: for fixed seeds the rendered tables of the
+// registry's pool-driven experiments are byte-identical between
+// Parallelism 1 and 4. E12's concurrent runtime is wall-clock-dependent
+// by design and excluded.
+func TestRegistryTablesAcrossSeedsAndParallelism(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full registry sweep is a long test")
+	}
+	for _, seed := range []uint64{3, 2009} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			for _, e := range Registry() {
+				if e.ID == "E12" {
+					continue
+				}
+				var tables []string
+				for _, par := range []int{1, 4} {
+					cfg := Config{Seed: seed, Trials: 3, MaxSteps: 400000, Quick: true, Parallelism: par}
+					res, err := e.Run(cfg)
+					if err != nil {
+						t.Fatalf("%s parallelism %d: %v", e.ID, par, err)
+					}
+					tables = append(tables, res.Table.String())
+				}
+				if tables[0] != tables[1] {
+					t.Fatalf("%s: tables differ between Parallelism 1 and 4:\n--- 1 ---\n%s\n--- 4 ---\n%s",
+						e.ID, tables[0], tables[1])
+				}
+			}
+		})
+	}
+}

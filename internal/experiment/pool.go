@@ -15,7 +15,11 @@ import (
 // This file implements the parallel sharded trial engine. Every
 // experiment cell — one protocol family on one graph under one scheduler
 // — expands into Config.Trials independent trial jobs that a worker pool
-// executes across Config.Parallelism goroutines.
+// executes across Config.Parallelism goroutines. Each worker owns one
+// reusable *core.Runner (recorder, simulator, scheduler, configuration
+// buffers), so the steady-state trial loop allocates nothing; results are
+// either materialized per trial (RunCells) or streamed through a fold
+// without being retained (RunCellsReduce).
 //
 // Determinism: the seed of trial t of a cell is
 //
@@ -23,38 +27,69 @@ import (
 //
 // a pure function of the master seed, the cell key and the trial index.
 // No seed depends on scheduling order, and results land in a
-// position-indexed matrix, so the output is byte-identical for every
-// Parallelism value (1 reproduces fully sequential execution).
+// position-indexed matrix (or fold in trial order per cell), so the
+// output is byte-identical for every Parallelism value (1 reproduces
+// fully sequential execution) and identical between the pooled and
+// one-shot execution paths.
 
 // Cell is one unit of the experiment grid: a stable key used for seed
-// derivation plus the function executing one adversarial trial. Run must
-// be safe for concurrent invocation (systems and graphs are immutable
-// after construction; each trial builds its own configuration, scheduler
-// and recorder).
+// derivation plus the function executing one adversarial trial. Exactly
+// one of Run and RunOn must be non-nil; both must be safe for concurrent
+// invocation across trials (systems and graphs are immutable after
+// construction).
 type Cell struct {
 	// Key identifies the cell in the experiment grid; distinct cells of
 	// one RunCells call must use distinct keys or they will share trial
 	// seeds.
 	Key string
-	// Run executes trial `trial` with the derived seed.
+	// Run executes trial `trial` with the derived seed, materializing a
+	// fresh result.
 	Run func(trial int, seed uint64) (*core.RunResult, error)
+	// RunOn executes the trial on the calling worker's reusable Runner,
+	// filling res in place. It is the allocation-free form: the pool
+	// passes a fresh res when results are retained (RunCells) and a
+	// reused buffer when they are folded away (RunCellsReduce).
+	RunOn func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error
+}
+
+// runTrial executes one trial of c, materializing into reuse when
+// non-nil (RunOn cells only; legacy Run cells always allocate).
+func (c *Cell) runTrial(rn *core.Runner, trial int, seed uint64, reuse *core.RunResult) (*core.RunResult, error) {
+	if c.RunOn != nil {
+		res := reuse
+		if res == nil {
+			res = &core.RunResult{}
+		}
+		if err := c.RunOn(rn, trial, seed, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	return c.Run(trial, seed)
+}
+
+func cellSeedsFor(cfg Config, cells []Cell) []uint64 {
+	seeds := make([]uint64, len(cells))
+	for i, c := range cells {
+		seeds[i] = rng.DeriveString(cfg.Seed, c.Key)
+	}
+	return seeds
 }
 
 // RunCells executes cfg.Trials trials of every cell on the worker pool
-// and returns the results indexed [cell][trial].
+// and returns the results indexed [cell][trial]. Jobs are ordered
+// cell-major, so a worker's consecutive jobs usually share a cell and its
+// Runner stays bound to one system.
 func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
 	cfg = cfg.withDefaults()
 	out := make([][]*core.RunResult, len(cells))
 	for i := range out {
 		out[i] = make([]*core.RunResult, cfg.Trials)
 	}
-	cellSeeds := make([]uint64, len(cells))
-	for i, c := range cells {
-		cellSeeds[i] = rng.DeriveString(cfg.Seed, c.Key)
-	}
-	err := forEach(cfg.Parallelism, len(cells)*cfg.Trials, func(j int) error {
+	cellSeeds := cellSeedsFor(cfg, cells)
+	err := forEachCtx(cfg.Parallelism, len(cells)*cfg.Trials, core.NewRunner, func(rn *core.Runner, j int) error {
 		cell, trial := j/cfg.Trials, j%cfg.Trials
-		res, err := cells[cell].Run(trial, rng.Derive(cellSeeds[cell], uint64(trial)))
+		res, err := cells[cell].runTrial(rn, trial, rng.Derive(cellSeeds[cell], uint64(trial)), nil)
 		if err != nil {
 			return fmt.Errorf("cell %q trial %d: %w", cells[cell].Key, trial, err)
 		}
@@ -67,6 +102,47 @@ func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
 	return out, nil
 }
 
+// RunCellsReduce executes cfg.Trials trials of every cell and streams
+// every result through fold instead of materializing the grid: memory
+// stays O(cells + workers) instead of O(cells × trials × n).
+//
+// Scheduling is cell-affine — one worker owns all trials of a cell,
+// running them in trial order on its reusable Runner with exactly the
+// trial seeds of RunCells — so fold(cell, trial, res) is invoked in
+// increasing trial order within each cell and aggregation is
+// deterministic at every Parallelism. fold runs concurrently for
+// DIFFERENT cells (never for the same cell): per-cell accumulators
+// indexed by cell need no locking, anything shared across cells does.
+// res is a worker-owned buffer valid only for the duration of the call;
+// fold must copy whatever needs to survive.
+//
+// Cell affinity means effective parallelism is bounded by len(cells)
+// (the registry's grids have tens of cells, comfortably above typical
+// core counts). A grid of few cells with very many trials parallelizes
+// at the trial level only under RunCells — prefer it there and pay the
+// materialization.
+func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.RunResult) error) error {
+	cfg = cfg.withDefaults()
+	cellSeeds := cellSeedsFor(cfg, cells)
+	type wctx struct {
+		rn  *core.Runner
+		res core.RunResult
+	}
+	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
+		func(w *wctx, i int) error {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				res, err := cells[i].runTrial(w.rn, trial, rng.Derive(cellSeeds[i], uint64(trial)), &w.res)
+				if err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+				if err := fold(i, trial, res); err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+			}
+			return nil
+		})
+}
+
 // ProtoCell describes a (graph, protocol family, scheduler) cell for
 // RunProtoCells.
 type ProtoCell struct {
@@ -74,17 +150,17 @@ type ProtoCell struct {
 	Family string
 	// Sched builds the trial's scheduler from the trial seed (nil →
 	// defaultSched). SchedName must name it when Sched is non-nil, so the
-	// cell key stays stable.
+	// cell key stays stable (and the per-worker scheduler cache keyed by
+	// it stays sound).
 	Sched     func(uint64) model.Scheduler
 	SchedName string
 	// SuffixRounds keeps the run going after silence (see core.RunOptions).
 	SuffixRounds int
 }
 
-// RunProtoCells builds each cell's system once and fans all trials out
-// across the pool: the workhorse behind the per-graph loops of E1-E15.
-func RunProtoCells(cfg Config, specs []ProtoCell) ([][]*core.RunResult, error) {
-	cfg = cfg.withDefaults()
+// protoCells expands specs into runner-aware pool cells, building each
+// cell's system once.
+func protoCells(cfg Config, specs []ProtoCell) ([]Cell, error) {
 	cells := make([]Cell, len(specs))
 	for i, sp := range specs {
 		sys, legit, err := protocolSystem(sp.Graph, sp.Family)
@@ -98,20 +174,43 @@ func RunProtoCells(cfg Config, specs []ProtoCell) ([][]*core.RunResult, error) {
 		suffix := sp.SuffixRounds
 		cells[i] = Cell{
 			Key: fmt.Sprintf("%s|%s|%s|%d", sp.Graph.Name(), sp.Family, schedName, suffix),
-			Run: func(trial int, seed uint64) (*core.RunResult, error) {
-				initial := model.NewRandomConfig(sys, rng.New(seed))
-				return core.Run(sys, initial, core.RunOptions{
-					Scheduler:    mkSched(seed),
+			RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
+				return rn.RunRandom(sys, core.RunOptions{
+					Scheduler:    rn.Scheduler(schedName, seed, mkSched),
 					Seed:         seed,
 					MaxSteps:     cfg.MaxSteps,
 					CheckEvery:   1,
 					SuffixRounds: suffix,
 					Legitimate:   legit,
-				})
+				}, res)
 			},
 		}
 	}
+	return cells, nil
+}
+
+// RunProtoCells builds each cell's system once and fans all trials out
+// across the pool: the workhorse behind the per-graph loops of E1-E15.
+func RunProtoCells(cfg Config, specs []ProtoCell) ([][]*core.RunResult, error) {
+	cfg = cfg.withDefaults()
+	cells, err := protoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
 	return RunCells(cfg, cells)
+}
+
+// RunProtoCellsReduce is the streaming form of RunProtoCells: every trial
+// result is folded (see RunCellsReduce for the ordering and concurrency
+// contract) instead of materialized, which is how the aggregate-only
+// experiments keep their memory independent of Trials.
+func RunProtoCellsReduce(cfg Config, specs []ProtoCell, fold func(cell, trial int, res *core.RunResult) error) error {
+	cfg = cfg.withDefaults()
+	cells, err := protoCells(cfg, specs)
+	if err != nil {
+		return err
+	}
+	return RunCellsReduce(cfg, cells, fold)
 }
 
 // forEach runs fn(0..n-1) on up to `workers` goroutines (<=0 selects
@@ -119,6 +218,15 @@ func RunProtoCells(cfg Config, specs []ProtoCell) ([][]*core.RunResult, error) {
 // jobs; in-flight jobs run to completion. Among the errors observed, the
 // one with the lowest job index is returned.
 func forEach(workers, n int, fn func(i int) error) error {
+	return forEachCtx(workers, n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return fn(i) })
+}
+
+// forEachCtx is forEach with a lazily-built per-worker context: every
+// worker goroutine calls newCtx once and passes the context to each job
+// it executes, giving jobs worker-affine reusable state (the trial
+// engine's *core.Runner) without synchronization.
+func forEachCtx[T any](workers, n int, newCtx func() T, fn func(ctx T, i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -126,8 +234,9 @@ func forEach(workers, n int, fn func(i int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
+		ctx := newCtx()
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
@@ -146,12 +255,13 @@ func forEach(workers, n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ctx := newCtx()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(ctx, i); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, firstErr = i, err

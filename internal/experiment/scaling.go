@@ -36,7 +36,23 @@ func E14ScalingCurves(cfg Config) (*Result, error) {
 			specs = append(specs, ProtoCell{Graph: g, Family: family})
 		}
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	// Streaming aggregation: per-cell summaries, no retained run results.
+	type acc struct {
+		agg    core.Convergence
+		rounds []float64
+	}
+	accs := make([]acc, len(specs))
+	for i := range accs {
+		accs[i].agg = core.NewConvergence()
+	}
+	err := RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		a := &accs[cell]
+		a.agg.Add(res)
+		if res.Silent {
+			a.rounds = append(a.rounds, float64(res.RoundsToSilence))
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -59,14 +75,8 @@ func E14ScalingCurves(cfg Config) (*Result, error) {
 			default:
 				haveBound = false // COLORING's convergence is probabilistic
 			}
-			results := cells[fi*len(sizes)+si]
-			agg := core.Aggregate(results)
-			var rounds []float64
-			for _, res := range results {
-				if res.Silent {
-					rounds = append(rounds, float64(res.RoundsToSilence))
-				}
-			}
+			agg := accs[fi*len(sizes)+si].agg
+			rounds := accs[fi*len(sizes)+si].rounds
 			within := agg.Converged == agg.Runs
 			boundCell := "—"
 			if haveBound {
@@ -147,9 +157,13 @@ func E15FaultContainment(cfg Config) (*Result, error) {
 			silentCfg, k := silentCfg, k
 			cells = append(cells, Cell{
 				Key: fmt.Sprintf("%s|%s|faults=%d", g.Name(), family, k),
-				Run: func(trial int, seed uint64) (*core.RunResult, error) {
+				RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
+					// Corrupt k processes of the silent snapshot directly
+					// in the runner-owned buffer (the stream of draws is
+					// exactly the old clone-then-corrupt path's).
 					r := rng.New(seed)
-					corrupted := silentCfg.Clone()
+					corrupted := rn.InitialConfig(sys)
+					corrupted.CopyFrom(silentCfg)
 					perm := r.Perm(g.N())
 					for _, p := range perm[:k] {
 						for v := range corrupted.Comm[p] {
@@ -159,18 +173,33 @@ func E15FaultContainment(cfg Config) (*Result, error) {
 							corrupted.Internal[p][v] = r.Intn(sys.InternalDomain(p, v))
 						}
 					}
-					return core.Run(sys, corrupted, core.RunOptions{
-						Scheduler:  defaultSched(seed),
+					return rn.Run(sys, core.RunOptions{
+						Scheduler:  rn.Scheduler(defaultSchedName, seed, defaultSched),
 						Seed:       seed,
 						MaxSteps:   cfg.MaxSteps,
 						CheckEvery: 1,
 						Legitimate: legit,
-					})
+					}, res)
 				},
 			})
 		}
 	}
-	faultResults, err := RunCells(cfg, cells)
+	type acc struct {
+		recovered, maxRounds int
+		rounds               []float64
+	}
+	accs := make([]acc, len(grid))
+	err = RunCellsReduce(cfg, cells, func(cell, _ int, res *core.RunResult) error {
+		a := &accs[cell]
+		if res.Silent && res.LegitimateAtSilence {
+			a.recovered++
+			a.rounds = append(a.rounds, float64(res.RoundsToSilence))
+			if res.RoundsToSilence > a.maxRounds {
+				a.maxRounds = res.RoundsToSilence
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -179,23 +208,12 @@ func E15FaultContainment(cfg Config) (*Result, error) {
 		"protocol", "graph", "faults", "recovered", "mean rounds", "max rounds")
 	pass := true
 	for i, fc := range grid {
-		recovered := 0
-		var rounds []float64
-		maxRounds := 0
-		for _, res := range faultResults[i] {
-			if res.Silent && res.LegitimateAtSilence {
-				recovered++
-				rounds = append(rounds, float64(res.RoundsToSilence))
-				if res.RoundsToSilence > maxRounds {
-					maxRounds = res.RoundsToSilence
-				}
-			}
-		}
-		ok := recovered == cfg.Trials
+		a := &accs[i]
+		ok := a.recovered == cfg.Trials
 		pass = pass && ok
 		table.AddRow(fc.family, g.Name(), fc.k,
-			fmt.Sprintf("%d/%d", recovered, cfg.Trials),
-			stats.Summarize(rounds).Mean, maxRounds)
+			fmt.Sprintf("%d/%d", a.recovered, cfg.Trials),
+			stats.Summarize(a.rounds).Mean, a.maxRounds)
 	}
 	return &Result{
 		ID:       "E15",

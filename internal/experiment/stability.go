@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/protocols/matching"
 	"repro/internal/protocols/mis"
@@ -19,10 +20,47 @@ func E4MISStability(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	specs := make([]ProtoCell, len(graphs))
+	systems := make([]*model.System, len(graphs))
 	for i, g := range graphs {
 		specs[i] = ProtoCell{Graph: g, Family: FamMIS, SuffixRounds: 6 * g.N()}
+		sys, _, err := protocolSystem(g, FamMIS)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	// Streaming aggregation: the exact stability analysis runs inside the
+	// fold on the worker's transient result, so no trial result (with its
+	// final configuration and read-set slices) is ever retained.
+	type acc struct {
+		minStable, minExact, dominated int
+		nonSilent                      bool
+	}
+	accs := make([]acc, len(graphs))
+	for i, g := range graphs {
+		accs[i] = acc{minStable: g.N() + 1, minExact: g.N() + 1, dominated: -1}
+	}
+	err = RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		a := &accs[cell]
+		if !res.Silent {
+			a.nonSilent = true
+			return nil
+		}
+		if stable := res.Report.StableProcesses(1); stable < a.minStable {
+			a.minStable = stable
+		}
+		// Exact analysis: the eventual read set of every process is
+		// computed from its orbit in the silent configuration.
+		prof, err := model.AnalyzeStability(systems[cell], res.Final)
+		if err != nil {
+			return err
+		}
+		if prof.OneStable < a.minExact {
+			a.minExact = prof.OneStable
+		}
+		a.dominated = res.Report.N - mis.DominatorCount(res.Final)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -38,36 +76,15 @@ func E4MISStability(cfg Config) (*Result, error) {
 			lmax = g.LongestPathLowerBound(200, cfg.Seed)
 		}
 		bound := mis.StabilityBound(lmax)
-		sys, _, err := protocolSystem(g, FamMIS)
-		if err != nil {
-			return nil, err
-		}
-		minStable, minExact, dominated := g.N()+1, g.N()+1, -1
-		for _, r := range cells[i] {
-			if !r.Silent {
-				pass = false
-				continue
-			}
-			stable := r.Report.StableProcesses(1)
-			if stable < minStable {
-				minStable = stable
-			}
-			// Exact analysis: the eventual read set of every process is
-			// computed from its orbit in the silent configuration.
-			prof, err := model.AnalyzeStability(sys, r.Final)
-			if err != nil {
-				return nil, err
-			}
-			if prof.OneStable < minExact {
-				minExact = prof.OneStable
-			}
-			dominated = r.Report.N - mis.DominatorCount(r.Final)
+		a := &accs[i]
+		if a.nonSilent {
+			pass = false
 		}
 		// The observed (finite-suffix) count can only over-approximate
 		// the exact limit count; both must clear the paper bound.
-		ok := minExact >= bound && minStable >= minExact
+		ok := a.minExact >= bound && a.minStable >= a.minExact
 		pass = pass && ok
-		table.AddRow(g.Name(), g.N(), lmax, bound, minExact, minStable, dominated, ok)
+		table.AddRow(g.Name(), g.N(), lmax, bound, a.minExact, a.minStable, a.dominated, ok)
 	}
 	return &Result{
 		ID:       "E4",
@@ -89,10 +106,44 @@ func E6MatchingStability(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	specs := make([]ProtoCell, len(graphs))
+	systems := make([]*model.System, len(graphs))
 	for i, g := range graphs {
 		specs[i] = ProtoCell{Graph: g, Family: FamMatching, SuffixRounds: 6 * g.N()}
+		sys, _, err := protocolSystem(g, FamMatching)
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
 	}
-	cells, err := RunProtoCells(cfg, specs)
+	type acc struct {
+		minMarried, minStable, minExact int
+		nonSilent                       bool
+	}
+	accs := make([]acc, len(graphs))
+	for i, g := range graphs {
+		accs[i] = acc{minMarried: g.N() + 1, minStable: g.N() + 1, minExact: g.N() + 1}
+	}
+	err = RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		a := &accs[cell]
+		if !res.Silent {
+			a.nonSilent = true
+			return nil
+		}
+		if married := countMarried(systems[cell], res.Final); married < a.minMarried {
+			a.minMarried = married
+		}
+		if stable := res.Report.StableProcesses(1); stable < a.minStable {
+			a.minStable = stable
+		}
+		prof, err := model.AnalyzeStability(systems[cell], res.Final)
+		if err != nil {
+			return err
+		}
+		if prof.OneStable < a.minExact {
+			a.minExact = prof.OneStable
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -101,35 +152,13 @@ func E6MatchingStability(cfg Config) (*Result, error) {
 	pass := true
 	for i, g := range graphs {
 		bound := matching.StabilityBound(g.M(), g.MaxDegree())
-		minMarried, minStable, minExact := g.N()+1, g.N()+1, g.N()+1
-		sys, _, err := protocolSystem(g, FamMatching)
-		if err != nil {
-			return nil, err
+		a := &accs[i]
+		if a.nonSilent {
+			pass = false
 		}
-		for _, r := range cells[i] {
-			if !r.Silent {
-				pass = false
-				continue
-			}
-			married := countMarried(sys, r.Final)
-			if married < minMarried {
-				minMarried = married
-			}
-			stable := r.Report.StableProcesses(1)
-			if stable < minStable {
-				minStable = stable
-			}
-			prof, err := model.AnalyzeStability(sys, r.Final)
-			if err != nil {
-				return nil, err
-			}
-			if prof.OneStable < minExact {
-				minExact = prof.OneStable
-			}
-		}
-		ok := minMarried >= bound && minExact >= bound && minStable >= minExact
+		ok := a.minMarried >= bound && a.minExact >= bound && a.minStable >= a.minExact
 		pass = pass && ok
-		table.AddRow(g.Name(), g.N(), g.M(), g.MaxDegree(), bound, minMarried, minExact, minStable, ok)
+		table.AddRow(g.Name(), g.N(), g.M(), g.MaxDegree(), bound, a.minMarried, a.minExact, a.minStable, ok)
 	}
 	return &Result{
 		ID:       "E6",

@@ -10,7 +10,6 @@ import (
 	"repro/internal/protocols/coloring"
 	"repro/internal/protocols/matching"
 	"repro/internal/protocols/mis"
-	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/transformer"
 )
@@ -98,7 +97,14 @@ func E13Transformer(cfg Config) (*Result, error) {
 			cells = append(cells, origCell, xCell)
 		}
 	}
-	results, err := RunCells(cfg, cells)
+	aggs := make([]core.Convergence, len(cells))
+	for i := range aggs {
+		aggs[i] = core.NewConvergence()
+	}
+	err = RunCellsReduce(cfg, cells, func(cell, _ int, res *core.RunResult) error {
+		aggs[cell].Add(res)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -107,8 +113,8 @@ func E13Transformer(cfg Config) (*Result, error) {
 		"protocol", "graph", "converged", "legit", "k-eff", "orig rounds", "xform rounds", "slowdown")
 	pass := true
 	for i, pr := range pairs {
-		origAgg := core.Aggregate(results[2*i])
-		xAgg := core.Aggregate(results[2*i+1])
+		origAgg := aggs[2*i]
+		xAgg := aggs[2*i+1]
 		origRounds, xRounds := origAgg.MaxRounds, xAgg.MaxRounds
 		ok := xAgg.Converged == xAgg.Runs && xAgg.LegitimateAll && xAgg.MaxKEfficiency <= 1
 		pass = pass && ok
@@ -141,15 +147,14 @@ func specCell(cfg Config, key string, g *graph.Graph, spec *model.Spec, consts [
 	}
 	return Cell{
 		Key: key,
-		Run: func(trial int, seed uint64) (*core.RunResult, error) {
-			initial := model.NewRandomConfig(sys, rng.New(seed))
-			return core.Run(sys, initial, core.RunOptions{
-				Scheduler:  defaultSched(seed),
+		RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
+			return rn.RunRandom(sys, core.RunOptions{
+				Scheduler:  rn.Scheduler(defaultSchedName, seed, defaultSched),
 				Seed:       seed,
 				MaxSteps:   cfg.MaxSteps,
 				CheckEvery: 2,
 				Legitimate: legit,
-			})
+			}, res)
 		},
 	}, nil
 }

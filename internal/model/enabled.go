@@ -50,17 +50,31 @@ type EnabledTracker struct {
 // NewEnabledTracker builds a tracker over cfg. cfg must only be mutated
 // through the owning simulator (or with explicit Invalidate calls).
 func NewEnabledTracker(sys *System, cfg *Config) *EnabledTracker {
-	t := &EnabledTracker{
-		sys:    sys,
-		cfg:    cfg,
-		valid:  make([]bool, sys.N()),
-		action: make([]int, sys.N()),
-	}
-	t.probe.sys = sys
-	t.probe.comm = make([]int, sys.CommWidth())
-	t.probe.internal = make([]int, sys.InternalWidth())
-	t.probe.step = -1
+	t := &EnabledTracker{}
+	t.Reset(sys, cfg)
 	return t
+}
+
+// Reset rebinds the tracker to (sys, cfg), marking every verdict stale.
+// Buffers are reused when sys is the tracker's current system, so the
+// trial pipeline resets trackers instead of rebuilding them.
+func (t *EnabledTracker) Reset(sys *System, cfg *Config) {
+	if t.sys != sys {
+		t.sys = sys
+		t.valid = make([]bool, sys.N())
+		t.action = make([]int, sys.N())
+		t.probe = Ctx{
+			sys:      sys,
+			comm:     make([]int, sys.CommWidth()),
+			internal: make([]int, sys.InternalWidth()),
+			step:     -1,
+		}
+	} else {
+		for i := range t.valid {
+			t.valid[i] = false
+		}
+	}
+	t.cfg = cfg
 }
 
 var _ EnabledView = (*EnabledTracker)(nil)

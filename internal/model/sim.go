@@ -51,6 +51,10 @@ type Simulator struct {
 	// its dirty set alongside orbitSilent.
 	tracker *EnabledTracker
 
+	// probe runs the frozen-neighborhood orbit exploration of SilentNow
+	// on reusable buffers.
+	probe orbitProbe
+
 	// Incremental silence detection: orbitSilent[p] caches a true verdict
 	// of processOrbitSilent for p under the current configuration. The
 	// verdict depends only on p's own state and its neighbors'
@@ -62,25 +66,60 @@ type Simulator struct {
 // NewSimulator builds a simulator over a deep copy of cfg0, so the caller
 // keeps the initial configuration.
 func NewSimulator(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs Observer) (*Simulator, error) {
-	if err := cfg0.Validate(sys); err != nil {
+	s := &Simulator{}
+	if err := s.Reset(sys, cfg0.Clone(), sched, seed, obs); err != nil {
 		return nil, err
 	}
-	s := &Simulator{
-		sys:            sys,
-		cfg:            cfg0.Clone(),
-		sched:          sched,
-		obs:            obs,
-		seed:           seed,
-		seenThisRound:  make([]bool, sys.N()),
-		remainingInRnd: sys.N(),
-		orbitSilent:    make([]bool, sys.N()),
+	return s, nil
+}
+
+// Reset rebinds the simulator to a new execution — system, initial
+// configuration, scheduler, seed and observer — rewinding step and round
+// state and reusing every internal buffer when sys is the system of the
+// previous run (the zero Simulator is valid and binds everything fresh).
+//
+// Unlike NewSimulator, the simulator ADOPTS cfg0 as its live
+// configuration: the run mutates it in place and Config() returns it.
+// This is the trial pipeline's defensive-clone elision — the caller owns
+// a reusable buffer (see core.Runner), fills it per trial, and hands it
+// over; it must not mutate the buffer behind the simulator's back while
+// the run is in progress.
+func (s *Simulator) Reset(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs Observer) error {
+	if err := cfg0.Validate(sys); err != nil {
+		return err
 	}
-	s.arena = newStepArena(sys)
-	s.tracker = NewEnabledTracker(sys, s.cfg)
+	if s.sys != sys {
+		s.sys = sys
+		s.seenThisRound = make([]bool, sys.N())
+		s.orbitSilent = make([]bool, sys.N())
+		s.arena = newStepArena(sys)
+	} else {
+		for i := range s.seenThisRound {
+			s.seenThisRound[i] = false
+		}
+		for i := range s.orbitSilent {
+			s.orbitSilent[i] = false
+		}
+	}
+	s.cfg = cfg0
+	s.sched = sched
+	s.tsched = nil
 	if ts, ok := sched.(TrackedScheduler); ok {
 		s.tsched = ts
 	}
-	return s, nil
+	s.obs = obs
+	s.seed = seed
+	s.step = 0
+	s.round = 0
+	s.remainingInRnd = sys.N()
+	s.roundBoundaries = s.roundBoundaries[:0]
+	if s.tracker == nil {
+		s.tracker = NewEnabledTracker(sys, cfg0)
+	} else {
+		s.tracker.Reset(sys, cfg0)
+	}
+	s.probe.bind(sys)
+	return nil
 }
 
 // Sys returns the underlying system.
@@ -231,7 +270,7 @@ func (s *Simulator) SilentNow() (bool, error) {
 			s.orbitSilent[p] = true
 			continue
 		}
-		silent, err := enabledOrbitSilent(s.sys, s.cfg, p, maxOrbit)
+		silent, err := s.probe.enabledOrbitSilent(s.cfg, p, maxOrbit)
 		if err != nil {
 			return false, fmt.Errorf("model: silence check at process %d: %w", p, err)
 		}

@@ -186,15 +186,24 @@ func NewZeroConfig(s *System) *Config {
 // self-stabilization.
 func NewRandomConfig(s *System, r *rng.Rand) *Config {
 	c := NewZeroConfig(s)
+	RandomizeConfig(s, c, r)
+	return c
+}
+
+// RandomizeConfig overwrites cfg in place with a configuration drawn
+// uniformly at random from the full state space: NewRandomConfig without
+// the allocation. cfg must have this system's shape (e.g. come from
+// NewZeroConfig). Values are drawn in exactly NewRandomConfig's order, so
+// both paths produce identical configurations from identical streams.
+func RandomizeConfig(s *System, cfg *Config, r *rng.Rand) {
 	for p := 0; p < s.N(); p++ {
-		for v := range c.Comm[p] {
-			c.Comm[p][v] = r.Intn(s.commDomains[p][v])
+		for v := range cfg.Comm[p] {
+			cfg.Comm[p][v] = r.Intn(s.commDomains[p][v])
 		}
-		for v := range c.Internal[p] {
-			c.Internal[p][v] = r.Intn(s.internalDomains[p][v])
+		for v := range cfg.Internal[p] {
+			cfg.Internal[p][v] = r.Intn(s.internalDomains[p][v])
 		}
 	}
-	return c
 }
 
 // Clone deep-copies the configuration.
@@ -219,6 +228,44 @@ func (c *Config) Clone() *Config {
 		out.Internal[p] = append([]int(nil), c.Internal[p]...)
 	}
 	return out
+}
+
+// CopyFrom overwrites c with d's values, reusing c's backing storage when
+// the shapes match and rebuilding it (to d's shape) otherwise. The result
+// never aliases d's memory. It is the buffer-reuse counterpart of Clone:
+// the trial pipeline copies configurations into long-lived buffers instead
+// of allocating fresh ones.
+func (c *Config) CopyFrom(d *Config) {
+	if c.flat() && d.flat() &&
+		len(c.Comm) == len(d.Comm) &&
+		len(c.commData) == len(d.commData) &&
+		len(c.internalData) == len(d.internalData) {
+		copy(c.commData, d.commData)
+		copy(c.internalData, d.internalData)
+		return
+	}
+	if sameShape(c.Comm, d.Comm) && sameShape(c.Internal, d.Internal) {
+		for p := range d.Comm {
+			copy(c.Comm[p], d.Comm[p])
+		}
+		for p := range d.Internal {
+			copy(c.Internal[p], d.Internal[p])
+		}
+		return
+	}
+	*c = *d.Clone()
+}
+
+func sameShape(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Equal reports whether both the communication and internal parts match.

@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocols/coloring"
+	"repro/internal/rng"
+)
+
+// TestResetMatchesFresh: for every scheduler, an instance Reset to a new
+// seed must produce exactly the selection stream of a freshly
+// constructed instance with that seed — the contract that lets the trial
+// pool reuse one scheduler per worker.
+func TestResetMatchesFresh(t *testing.T) {
+	t.Parallel()
+	g := graph.Cycle(7)
+	sys, err := model.NewSystem(g, coloring.Spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			reused, err := ByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, ok := reused.(Resettable)
+			if !ok {
+				t.Fatalf("%s does not implement Resettable", name)
+			}
+			// Dirty the reused instance with a different-seed run first.
+			cfgA := model.NewRandomConfig(sys, rng.New(1))
+			for step := 0; step < 25; step++ {
+				reused.Select(step, sys, cfgA)
+			}
+			for seed := uint64(2); seed <= 4; seed++ {
+				fresh, err := ByName(name, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs.Reset(seed)
+				// Drive both over the same evolving configuration: apply
+				// the selections of the fresh instance to keep the
+				// enabledness-dependent daemons honest.
+				cfg := model.NewRandomConfig(sys, rng.New(seed))
+				for step := 0; step < 40; step++ {
+					want := fresh.Select(step, sys, cfg)
+					got := reused.Select(step, sys, cfg)
+					if !slices.Equal(want, got) {
+						t.Fatalf("seed %d step %d: reset selects %v, fresh selects %v",
+							seed, step, got, want)
+					}
+					model.ExecuteStep(sys, cfg, want, step, func(p int) *rng.Rand {
+						return rng.New(rng.Derive(seed, uint64(step*1000+p)))
+					}, nil)
+				}
+			}
+		})
+	}
+}

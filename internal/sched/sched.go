@@ -23,6 +23,29 @@ import (
 	"repro/internal/rng"
 )
 
+// Resettable is implemented by every scheduler in this package:
+// Reset(seed) rewinds the scheduler to the exact state of a freshly
+// constructed instance with that seed (same selection stream, same
+// derived generator streams), reusing its buffers. The experiment pool
+// resets one scheduler instance per worker across trials instead of
+// constructing a fresh one per trial; because a reset instance selects
+// identically to a new one, the reuse never perturbs a computation.
+type Resettable interface {
+	// Reset rewinds the scheduler to its freshly-constructed state for
+	// seed. Schedulers that ignore seeds ignore the argument.
+	Reset(seed uint64)
+}
+
+// Compile-time checks: every scheduler is resettable.
+var (
+	_ Resettable = (*Synchronous)(nil)
+	_ Resettable = (*CentralRoundRobin)(nil)
+	_ Resettable = (*CentralRandom)(nil)
+	_ Resettable = (*RandomSubset)(nil)
+	_ Resettable = (*EnabledBiased)(nil)
+	_ Resettable = (*LaziestFair)(nil)
+)
+
 // Synchronous selects every process at every step.
 type Synchronous struct {
 	buf []int
@@ -30,6 +53,9 @@ type Synchronous struct {
 
 // NewSynchronous returns a Synchronous scheduler.
 func NewSynchronous() *Synchronous { return &Synchronous{} }
+
+// Reset implements Resettable (Synchronous is stateless).
+func (s *Synchronous) Reset(uint64) {}
 
 // Name implements model.Scheduler.
 func (*Synchronous) Name() string { return "synchronous" }
@@ -54,6 +80,10 @@ type CentralRoundRobin struct {
 // NewCentralRoundRobin returns a CentralRoundRobin scheduler.
 func NewCentralRoundRobin() *CentralRoundRobin { return &CentralRoundRobin{} }
 
+// Reset implements Resettable (the cycle position derives from the step
+// index, so there is no state to rewind).
+func (s *CentralRoundRobin) Reset(uint64) {}
+
 // Name implements model.Scheduler.
 func (*CentralRoundRobin) Name() string { return "central-rr" }
 
@@ -66,13 +96,23 @@ func (s *CentralRoundRobin) Select(step int, sys *model.System, _ *model.Config)
 // CentralRandom selects one uniformly random process per step (fair with
 // probability 1).
 type CentralRandom struct {
+	src rng.SplitMix
 	r   *rng.Rand
 	sel [1]int
 }
 
 // NewCentralRandom returns a CentralRandom scheduler with its own stream.
 func NewCentralRandom(seed uint64) *CentralRandom {
-	return &CentralRandom{r: rng.New(rng.DeriveString(seed, "sched-central-random"))}
+	s := &CentralRandom{}
+	s.r = rng.FromSource(&s.src)
+	s.Reset(seed)
+	return s
+}
+
+// Reset implements Resettable: the generator is rewound to the stream of
+// NewCentralRandom(seed).
+func (s *CentralRandom) Reset(seed uint64) {
+	s.src.Reseed(rng.DeriveString(seed, "sched-central-random"))
 }
 
 // Name implements model.Scheduler.
@@ -87,13 +127,23 @@ func (s *CentralRandom) Select(_ int, sys *model.System, _ *model.Config) []int 
 // RandomSubset selects a uniformly random non-empty subset of processes
 // per step — the least structured distributed fair scheduler.
 type RandomSubset struct {
+	src rng.SplitMix
 	r   *rng.Rand
 	buf []int
 }
 
 // NewRandomSubset returns a RandomSubset scheduler with its own stream.
 func NewRandomSubset(seed uint64) *RandomSubset {
-	return &RandomSubset{r: rng.New(rng.DeriveString(seed, "sched-random-subset"))}
+	s := &RandomSubset{}
+	s.r = rng.FromSource(&s.src)
+	s.Reset(seed)
+	return s
+}
+
+// Reset implements Resettable: the generator is rewound to the stream of
+// NewRandomSubset(seed); the selection buffer is kept.
+func (s *RandomSubset) Reset(seed uint64) {
+	s.src.Reseed(rng.DeriveString(seed, "sched-random-subset"))
 }
 
 // Name implements model.Scheduler.
@@ -111,6 +161,7 @@ func (s *RandomSubset) Select(_ int, sys *model.System, _ *model.Config) []int {
 // paper's round definition still counts selections of disabled
 // processes, which this daemon avoids until a fixpoint.
 type EnabledBiased struct {
+	src     rng.SplitMix
 	r       *rng.Rand
 	enabled []int
 	idxs    []int
@@ -119,7 +170,16 @@ type EnabledBiased struct {
 
 // NewEnabledBiased returns an EnabledBiased scheduler with its own stream.
 func NewEnabledBiased(seed uint64) *EnabledBiased {
-	return &EnabledBiased{r: rng.New(rng.DeriveString(seed, "sched-enabled"))}
+	s := &EnabledBiased{}
+	s.r = rng.FromSource(&s.src)
+	s.Reset(seed)
+	return s
+}
+
+// Reset implements Resettable: the generator is rewound to the stream of
+// NewEnabledBiased(seed); the selection buffers are kept.
+func (s *EnabledBiased) Reset(seed uint64) {
+	s.src.Reseed(rng.DeriveString(seed, "sched-enabled"))
 }
 
 // Name implements model.Scheduler.
@@ -176,6 +236,10 @@ type LaziestFair struct {
 func NewLaziestFair() *LaziestFair {
 	return &LaziestFair{}
 }
+
+// Reset implements Resettable: the selection history is forgotten (every
+// process reads as never selected), as in a fresh instance.
+func (s *LaziestFair) Reset(uint64) { s.last = s.last[:0] }
 
 // Name implements model.Scheduler.
 func (*LaziestFair) Name() string { return "laziest-fair" }

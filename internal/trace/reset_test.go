@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// driveRecorder runs a short deterministic execution into rec and
+// returns its report.
+func driveRecorder(t *testing.T, rec *Recorder, seed uint64, steps int) Report {
+	t.Helper()
+	g := graph.Cycle(5)
+	sys, err := model.NewSystem(g, twoReadSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := model.NewZeroConfig(sys)
+	cfg.Comm[0][0] = int(seed % 8)
+	sim, err := model.NewSimulator(sys, cfg, sched.NewCentralRoundRobin(), seed, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunSteps(steps / 2)
+	rec.MarkSuffix()
+	sim.RunSteps(steps - steps/2)
+	return rec.Report()
+}
+
+// TestRecorderResetMatchesFresh: a reused recorder must report exactly
+// what a freshly constructed one does, including suffix state.
+func TestRecorderResetMatchesFresh(t *testing.T) {
+	t.Parallel()
+	reused := NewRecorder(5)
+	driveRecorder(t, reused, 1, 30) // dirty it
+	for seed := uint64(2); seed <= 4; seed++ {
+		reused.Reset(5)
+		got := driveRecorder(t, reused, seed, 24)
+		want := driveRecorder(t, NewRecorder(5), seed, 24)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seed %d: reset recorder reports\n%+v\nfresh reports\n%+v", seed, got, want)
+		}
+	}
+	// Resizing reset: rebind to a different n and back.
+	reused.Reset(9)
+	reused.Reset(5)
+	got := driveRecorder(t, reused, 7, 24)
+	want := driveRecorder(t, NewRecorder(5), 7, 24)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resize-reset recorder reports\n%+v\nfresh reports\n%+v", got, want)
+	}
+}
+
+// TestResetMidStepResize: a Reset to a different n landing between Read
+// and StepEnd must drop the in-flight step's touched set; stale entries
+// index the old n.
+func TestResetMidStepResize(t *testing.T) {
+	t.Parallel()
+	rec := NewRecorder(9)
+	rec.StepBegin(0, []int{8})
+	rec.Read(0, 8, 7, model.KindComm, 0, 3) // touches p=8
+	rec.Reset(3)                            // shrink mid-step
+	rec.StepBegin(0, []int{0})
+	rec.Read(0, 0, 1, model.KindComm, 0, 3)
+	rec.StepEnd(0, []int{0}, false) // must not index p=8
+	if rep := rec.Report(); rep.TotalBits != 3 || rep.N != 3 {
+		t.Fatalf("post-resize report = %+v, want 3 bits over 3 processes", rep)
+	}
+}
+
+// TestReportIntoReusesSlices: ReportInto must fill a reused Report
+// without reallocating its slices, and agree with Report.
+func TestReportIntoReusesSlices(t *testing.T) {
+	t.Parallel()
+	rec := NewRecorder(5)
+	want := driveRecorder(t, rec, 3, 20)
+	var rep Report
+	rec.ReportInto(&rep)
+	if !reflect.DeepEqual(want, rep) {
+		t.Fatalf("ReportInto = %+v, Report = %+v", rep, want)
+	}
+	p0, p1 := &rep.ReadSetSizes[0], &rep.SuffixReadSetSizes[0]
+	rec.ReportInto(&rep)
+	if &rep.ReadSetSizes[0] != p0 || &rep.SuffixReadSetSizes[0] != p1 {
+		t.Fatal("ReportInto reallocated slices that had sufficient capacity")
+	}
+}
+
+// feedReads pushes a synthetic read sequence through a recorder and
+// returns the final report. Every read claims `bits` bits.
+func feedReads(n int, reads [][4]int, bits int) Report {
+	rec := NewRecorder(n)
+	rec.StepBegin(0, []int{0})
+	for _, r := range reads {
+		rec.Read(0, r[0], r[1], model.VarKind(r[2]), r[3], bits)
+	}
+	rec.StepEnd(0, []int{0}, false)
+	return rec.Report()
+}
+
+// TestReadDedupStampedVsFallback: the generation-stamped dedup (n ≤
+// maxStampN) and the linear-scan fallback must account identically for a
+// read sequence with duplicates across (q, kind, v).
+func TestReadDedupStampedVsFallback(t *testing.T) {
+	t.Parallel()
+	reads := [][4]int{
+		// {p, q, kind, v}
+		{0, 1, int(model.KindComm), 0},
+		{0, 1, int(model.KindComm), 0},  // dup: not recounted
+		{0, 1, int(model.KindConst), 0}, // same q+v, other kind: counted
+		{0, 1, int(model.KindComm), 1},  // same q, other var: counted
+		{0, 2, int(model.KindComm), 0},  // other neighbor: counted
+		{0, 2, int(model.KindComm), 0},  // dup
+		{0, 1, int(model.KindConst), 0}, // dup
+	}
+	const bits = 3
+	// Distinct keys: (1,comm,0), (1,const,0), (1,comm,1), (2,comm,0).
+	small := feedReads(4, reads, bits) // stamped table path
+	if small.TotalBits != 4*bits {
+		t.Fatalf("stamped path counted %d bits, want %d", small.TotalBits, 4*bits)
+	}
+	if small.TotalReads != 2 { // distinct neighbors: 1 and 2
+		t.Fatalf("stamped path counted %d distinct-neighbor reads, want 2", small.TotalReads)
+	}
+	big := feedReads(maxStampN+2, reads, bits) // linear fallback path
+	if big.TotalBits != small.TotalBits || big.TotalReads != small.TotalReads ||
+		big.KEfficiency != small.KEfficiency || big.CommComplexityBits != small.CommComplexityBits {
+		t.Fatalf("fallback path disagrees with stamped path:\nstamped  %+v\nfallback %+v", small, big)
+	}
+}
+
+// TestReadDedupStampGrowth: reads of variable indices beyond the current
+// stamp width must grow the table mid-step without losing stamps.
+func TestReadDedupStampGrowth(t *testing.T) {
+	t.Parallel()
+	var reads [][4]int
+	// First touch v=0, then v=5 (forces growth), then duplicate both: the
+	// duplicates must still be recognized after the remap.
+	reads = append(reads,
+		[4]int{0, 1, int(model.KindComm), 0},
+		[4]int{0, 1, int(model.KindComm), 5},
+		[4]int{0, 1, int(model.KindComm), 0},
+		[4]int{0, 1, int(model.KindComm), 5},
+	)
+	rep := feedReads(4, reads, 2)
+	if rep.TotalBits != 4 {
+		t.Fatalf("after stamp growth TotalBits = %d, want 4 (two distinct reads)", rep.TotalBits)
+	}
+}
+
+// TestReadDedupAcrossSteps: dedup is per step; the same key in the next
+// step counts again (epoch bump), in both dedup regimes.
+func TestReadDedupAcrossSteps(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{4, maxStampN + 2} {
+		rec := NewRecorder(n)
+		for step := 0; step < 3; step++ {
+			rec.StepBegin(step, []int{0})
+			rec.Read(step, 0, 1, model.KindComm, 0, 3)
+			rec.Read(step, 0, 1, model.KindComm, 0, 3) // dup within step
+			rec.StepEnd(step, []int{0}, false)
+		}
+		if rep := rec.Report(); rep.TotalBits != 9 {
+			t.Fatalf("n=%d: 3 steps × 1 distinct read = %d bits, want 9", n, rep.TotalBits)
+		}
+	}
+}
+
+// BenchmarkRecorderReadFullStep measures a full-read step on a
+// high-degree process: every neighbor contributes two distinct reads,
+// the workload whose dedup used to be quadratic in the degree.
+func BenchmarkRecorderReadFullStep(b *testing.B) {
+	const n = 64
+	rec := NewRecorder(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.StepBegin(i, []int{0})
+		for q := 1; q < n; q++ {
+			rec.Read(i, 0, q, model.KindComm, 0, 3)
+			rec.Read(i, 0, q, model.KindConst, 0, 3)
+		}
+		rec.StepEnd(i, []int{0}, false)
+	}
+}

@@ -24,9 +24,19 @@ type readKey struct {
 	v    int
 }
 
+// maxStampN bounds the systems for which the per-step (q,kind,v) read
+// dedup runs on the generation-stamped table (O(n²·kinds·width) memory
+// per recorder, O(1) per read). Larger systems fall back to the linear
+// per-process key scan, whose cost is quadratic only in the per-step key
+// count, never in n.
+const maxStampN = 128
+
 // Recorder accumulates read/step/move statistics for one execution. Read
 // sets are bitsets and per-step scratch is reused, so the observer
-// allocates nothing on the steady-state path.
+// allocates nothing on the steady-state path. A Recorder is reusable:
+// Reset rewinds it to the state of a fresh NewRecorder without
+// reallocating, which is what lets the trial pipeline run millions of
+// executions through one recorder per worker.
 type Recorder struct {
 	n int
 
@@ -35,9 +45,21 @@ type Recorder struct {
 	// reset in StepEnd.
 	curReads     []*bitset.Set // per process: distinct neighbors read this step
 	curReadCount []int
-	curBitKeys   [][]readKey // per process: deduped (q,kind,v) reads this step
 	curBitSum    []int
 	touched      []int
+
+	// Per-step (p,q,kind,v) read dedup for the bits accounting. epoch
+	// identifies the current step (bumped by StepEnd and Reset);
+	// readStamp[idx]==epoch marks a key already counted this step, and
+	// procStamp[p]==epoch marks p as already in touched. The flat layout
+	// is [p][q][kind][v] with per-kind width stampW, grown on demand.
+	// readStamp is nil for n > maxStampN; curKeys then holds the
+	// linear-scan fallback rows.
+	epoch     uint64
+	stampW    int
+	readStamp []uint64
+	procStamp []uint64
+	curKeys   [][]readKey
 
 	maxStepReads []int // per process: max distinct neighbors read in one step
 	maxStepBits  []int // per process: max bits read in one step
@@ -64,23 +86,65 @@ type Recorder struct {
 
 // NewRecorder returns a Recorder for n processes.
 func NewRecorder(n int) *Recorder {
-	r := &Recorder{
-		n:            n,
-		curReads:     make([]*bitset.Set, n),
-		curReadCount: make([]int, n),
-		curBitKeys:   make([][]readKey, n),
-		curBitSum:    make([]int, n),
-		maxStepReads: make([]int, n),
-		maxStepBits:  make([]int, n),
-		everRead:     make([]*bitset.Set, n),
-		suffixRead:   make([]*bitset.Set, n),
-	}
-	for p := 0; p < n; p++ {
-		r.curReads[p] = bitset.New(n)
-		r.everRead[p] = bitset.New(n)
-		r.suffixRead[p] = bitset.New(n)
-	}
+	r := &Recorder{}
+	r.Reset(n)
 	return r
+}
+
+// Reset rewinds the recorder to the state of a fresh NewRecorder(n),
+// reusing every allocation when n is unchanged. Statistics, read sets and
+// the suffix mark are all cleared.
+func (r *Recorder) Reset(n int) {
+	if n != r.n {
+		r.n = n
+		r.curReads = make([]*bitset.Set, n)
+		r.curReadCount = make([]int, n)
+		r.curBitSum = make([]int, n)
+		r.maxStepReads = make([]int, n)
+		r.maxStepBits = make([]int, n)
+		r.everRead = make([]*bitset.Set, n)
+		r.suffixRead = make([]*bitset.Set, n)
+		r.procStamp = make([]uint64, n)
+		for p := 0; p < n; p++ {
+			r.curReads[p] = bitset.New(n)
+			r.everRead[p] = bitset.New(n)
+			r.suffixRead[p] = bitset.New(n)
+		}
+		if n <= maxStampN {
+			r.stampW = 1
+			r.readStamp = make([]uint64, n*n*3*r.stampW)
+			r.curKeys = nil
+		} else {
+			r.stampW = 0
+			r.readStamp = nil
+			r.curKeys = make([][]readKey, n)
+		}
+	} else {
+		for p := 0; p < n; p++ {
+			r.curReads[p].Clear()
+			r.everRead[p].Clear()
+			r.suffixRead[p].Clear()
+			r.curReadCount[p] = 0
+			r.curBitSum[p] = 0
+			r.maxStepReads[p] = 0
+			r.maxStepBits[p] = 0
+			if r.curKeys != nil {
+				r.curKeys[p] = r.curKeys[p][:0]
+			}
+		}
+	}
+	// touched may be non-empty when Reset lands mid-step (between Read
+	// and StepEnd); its entries index the old n and must not survive.
+	r.touched = r.touched[:0]
+	// Bumping the epoch invalidates every stamp at once; the table is
+	// never cleared.
+	r.epoch++
+	r.totalBits, r.totalReads = 0, 0
+	r.moves, r.disabledSelections, r.selections, r.commWrites = 0, 0, 0, 0
+	r.steps, r.rounds = 0, 0
+	r.suffixSteps, r.suffixRounds = 0, 0
+	r.suffixBits, r.suffixReads = 0, 0
+	r.suffixSelections, r.suffixMoves = 0, 0
 }
 
 var _ model.Observer = (*Recorder)(nil)
@@ -91,22 +155,50 @@ func (r *Recorder) StepBegin(_ int, selected []int) {
 	r.suffixSelections += int64(len(selected))
 }
 
-// Read implements model.Observer.
+// Read implements model.Observer. The (q,kind,v) dedup behind the bits
+// accounting is a generation-stamped table lookup (O(1) per read; see
+// maxStampN), so a full-read step on a high-degree process costs O(Δ),
+// not O(Δ²).
 func (r *Recorder) Read(_, p, q int, kind model.VarKind, v, bits int) {
-	if len(r.curBitKeys[p]) == 0 {
+	if r.procStamp[p] != r.epoch {
+		r.procStamp[p] = r.epoch
 		r.touched = append(r.touched, p)
 	}
 	if r.curReads[p].Add(q) {
 		r.curReadCount[p]++
 	}
-	k := readKey{q: q, kind: kind, v: v}
-	for _, seen := range r.curBitKeys[p] {
-		if seen == k {
+	if r.readStamp != nil {
+		if v >= r.stampW {
+			r.growStamp(v + 1)
+		}
+		idx := ((p*r.n+q)*3+int(kind)-1)*r.stampW + v
+		if r.readStamp[idx] == r.epoch {
 			return
 		}
+		r.readStamp[idx] = r.epoch
+	} else {
+		k := readKey{q: q, kind: kind, v: v}
+		for _, seen := range r.curKeys[p] {
+			if seen == k {
+				return
+			}
+		}
+		r.curKeys[p] = append(r.curKeys[p], k)
 	}
-	r.curBitKeys[p] = append(r.curBitKeys[p], k)
 	r.curBitSum[p] += bits
+}
+
+// growStamp widens the stamp table to at least w slots per (p,q,kind),
+// remapping existing rows so stamps of the step in progress survive.
+func (r *Recorder) growStamp(w int) {
+	if w < 2*r.stampW {
+		w = 2 * r.stampW
+	}
+	next := make([]uint64, r.n*r.n*3*w)
+	for row := 0; row*r.stampW < len(r.readStamp); row++ {
+		copy(next[row*w:row*w+r.stampW], r.readStamp[row*r.stampW:(row+1)*r.stampW])
+	}
+	r.readStamp, r.stampW = next, w
 }
 
 // ActionFired implements model.Observer.
@@ -145,10 +237,13 @@ func (r *Recorder) StepEnd(_ int, _ []int, roundCompleted bool) {
 
 		r.curReads[p].Clear()
 		r.curReadCount[p] = 0
-		r.curBitKeys[p] = r.curBitKeys[p][:0]
+		if r.curKeys != nil {
+			r.curKeys[p] = r.curKeys[p][:0]
+		}
 		r.curBitSum[p] = 0
 	}
 	r.touched = r.touched[:0]
+	r.epoch++ // invalidates this step's read stamps
 	r.steps++
 	r.suffixSteps++
 	if roundCompleted {
@@ -215,7 +310,16 @@ type Report struct {
 
 // Report snapshots the current statistics.
 func (r *Recorder) Report() Report {
-	rep := Report{
+	var rep Report
+	r.ReportInto(&rep)
+	return rep
+}
+
+// ReportInto fills rep with the current statistics, reusing rep's slices
+// when their capacity allows: the trial pipeline's allocation-free
+// reporting path (Report is the allocating convenience form).
+func (r *Recorder) ReportInto(rep *Report) {
+	*rep = Report{
 		N:                  r.n,
 		Steps:              r.steps,
 		Rounds:             r.rounds,
@@ -225,8 +329,8 @@ func (r *Recorder) Report() Report {
 		CommWrites:         r.commWrites,
 		TotalBits:          r.totalBits,
 		TotalReads:         r.totalReads,
-		ReadSetSizes:       make([]int, r.n),
-		SuffixReadSetSizes: make([]int, r.n),
+		ReadSetSizes:       resizeInts(rep.ReadSetSizes, r.n),
+		SuffixReadSetSizes: resizeInts(rep.SuffixReadSetSizes, r.n),
 		SuffixSteps:        r.suffixSteps,
 		SuffixRounds:       r.suffixRounds,
 		SuffixTotalBits:    r.suffixBits,
@@ -244,7 +348,15 @@ func (r *Recorder) Report() Report {
 		rep.ReadSetSizes[p] = r.everRead[p].Count()
 		rep.SuffixReadSetSizes[p] = r.suffixRead[p].Count()
 	}
-	return rep
+}
+
+// resizeInts returns a length-n int slice, reusing s's storage when it is
+// large enough.
+func resizeInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
 }
 
 // StableProcesses returns the number of processes whose suffix read set
