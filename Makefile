@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test test-race bench bench-json bench-diff bench-diff-committed fmt vet check
+.PHONY: build test test-race bench bench-json bench-diff bench-diff-committed fuzz-smoke fmt vet check
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,17 @@ test-full:
 	$(GO) test -timeout 20m ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model ./internal/core ./internal/trace
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model ./internal/core ./internal/trace ./internal/fault
+
+# Native fuzz smoke: each target fuzzes for a short budget (a regression
+# in the encoding round-trip or the subset sampler surfaces within
+# seconds; the committed corpora under testdata/fuzz/ run as plain tests
+# on every `go test`). `go test -fuzz` takes one target per invocation,
+# hence the two runs.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test ./internal/graph -fuzz FuzzGraphEncodingRoundTrip -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/rng -fuzz FuzzAppendSubsetNonEmpty -fuzztime $(FUZZTIME) -run '^$$'
 
 # Machine-readable perf trajectory: run the engine core benchmarks (step
 # engine, enabled tracker, trial pipeline, recorder) and record

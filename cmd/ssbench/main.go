@@ -1,6 +1,7 @@
-// Command ssbench regenerates the paper's experiment tables (E1-E15, see
-// DESIGN.md for the artifact index). Every table reports measured data
-// plus a PASS/FAIL verdict against the corresponding paper claim.
+// Command ssbench regenerates the paper's experiment tables (E1-E18, see
+// DESIGN.md for the artifact index; E16-E18 exercise the adversary
+// subsystem of internal/fault). Every table reports measured data plus a
+// PASS/FAIL verdict against the corresponding paper claim.
 //
 // Usage:
 //
@@ -10,6 +11,13 @@
 //	ssbench -quick -trials 2     # fast pass
 //	ssbench -parallelism 1       # sequential pool (identical tables)
 //	ssbench -time                # per-experiment wall clock on stderr
+//
+// A custom fault scenario (instead of the registry) is selected with
+// -adversary; -faults sizes it and -inject schedules it:
+//
+//	ssbench -adversary cluster -faults 4                 # BFS-ball faults at start
+//	ssbench -adversary uniform -faults 2 -inject on-silence:3
+//	ssbench -adversary comm -inject every:200:4
 //
 // Trials run on the parallel sharded pool of internal/experiment; for a
 // fixed -seed the tables are byte-identical for every -parallelism.
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -44,9 +53,20 @@ func run(args []string, out io.Writer) error {
 		markdown    = fs.Bool("markdown", false, "emit markdown tables")
 		parallelism = fs.Int("parallelism", 0, "trial pool workers (0: GOMAXPROCS; results are identical for every value)")
 		timeIt      = fs.Bool("time", false, "report per-experiment wall clock on stderr")
+		adversary   = fs.String("adversary", "", fmt.Sprintf("run a custom fault scenario with this adversary instead of the registry (one of %v)", fault.Names()))
+		faults      = fs.Int("faults", 2, "fault size k for -adversary (processes corrupted per injection)")
+		inject      = fs.String("inject", "at-start", "injection schedule for -adversary: at-start | at-step:T | every:T[:N] | on-silence[:N]")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *adversary == "" && (set["inject"] || set["faults"]) {
+		return fmt.Errorf("-inject and -faults only apply to a custom fault scenario: pass -adversary too")
+	}
+	if *adversary != "" && set["run"] {
+		return fmt.Errorf("-adversary runs a custom scenario instead of the registry: drop -run (or drop -adversary)")
 	}
 
 	ids := experiment.IDs()
@@ -61,15 +81,36 @@ func run(args []string, out io.Writer) error {
 		Parallelism: *parallelism,
 	}
 
-	allPass := true
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		runner, err := experiment.ByID(id)
+	type job struct {
+		id  string
+		run experiment.Runner
+	}
+	var jobs []job
+	if *adversary != "" {
+		schedule, err := fault.ParseSchedule(*inject)
 		if err != nil {
 			return err
 		}
+		advName, k := *adversary, *faults
+		jobs = append(jobs, job{id: "EX", run: func(c experiment.Config) (*experiment.Result, error) {
+			return experiment.CustomFault(c, advName, k, schedule)
+		}})
+	} else {
+		for _, id := range ids {
+			id = strings.TrimSpace(id)
+			runner, err := experiment.ByID(id)
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, job{id: id, run: runner})
+		}
+	}
+
+	allPass := true
+	for _, j := range jobs {
+		id := j.id
 		started := time.Now()
-		res, err := runner(cfg)
+		res, err := j.run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

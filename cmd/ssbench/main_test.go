@@ -49,3 +49,43 @@ func TestRunUnknownID(t *testing.T) {
 		t.Fatal("unknown experiment id accepted")
 	}
 }
+
+func TestRunCustomAdversary(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-adversary", "cluster", "-faults", "3", "-inject", "on-silence:2", "-quick", "-trials", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"EX: adversary cluster (k=3) scheduled on-silence:2", "max radius", "verdict: PASS"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunBadAdversary(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-adversary", "bitrot"}, &sb); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if err := run([]string{"-adversary", "uniform", "-inject", "sometimes"}, &sb); err == nil {
+		t.Fatal("bad schedule accepted")
+	}
+	if err := run([]string{"-adversary", "uniform", "-faults", "0"}, &sb); err == nil {
+		t.Fatal("zero fault size accepted")
+	}
+}
+
+func TestRunFlagCombinations(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-inject", "on-silence:2"}, &sb); err == nil {
+		t.Fatal("-inject without -adversary accepted")
+	}
+	if err := run([]string{"-faults", "3"}, &sb); err == nil {
+		t.Fatal("-faults without -adversary accepted")
+	}
+	if err := run([]string{"-run", "E3", "-adversary", "uniform"}, &sb); err == nil {
+		t.Fatal("-run combined with -adversary accepted")
+	}
+}

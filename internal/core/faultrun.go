@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// This file is the execution side of the adversary subsystem
+// (internal/fault): RunFaulted drives one trial during which an
+// adversary strikes according to a schedule — at start, at a fixed step,
+// periodically, or at each silence point — and measures every recovery
+// episode (rounds to re-silence, containment radius). Injections mutate
+// the live configuration mid-run; cache soundness is restored by marking
+// every corrupted process dirty via model.Simulator.MarkDirty, the exact
+// dirty rule Step applies to moving processes, so the incremental
+// enabled/silence caches never observe a stale verdict.
+
+// Episode reports one injection and the recovery that followed it.
+type Episode struct {
+	// Step is the step index at which the injection happened (0 for an
+	// at-start injection).
+	Step int
+	// Faulted is the number of corrupted processes.
+	Faulted int
+	// Recovered reports whether the system re-reached silence after this
+	// injection and before the next one (or the end of the run).
+	Recovered bool
+	// RecoveryRounds is the number of rounds from the injection to the
+	// episode's silence point; for an unrecovered episode it is the
+	// rounds observed until the episode was cut off (by the next
+	// injection or the step budget).
+	RecoveryRounds int
+	// Radius is the containment radius of the episode: the maximum graph
+	// distance from the faulted set to any process that fired an action
+	// during recovery (0 when corrections never left the faulted set).
+	Radius int
+	// BallRadius is the fault ball's own radius when the adversary
+	// reports one (fault.Cluster does), -1 otherwise.
+	BallRadius int
+}
+
+// FaultResult reports one injected trial: the overall run outcome (the
+// embedded RunResult describes the final recovery, exactly as a plain
+// Run would) plus per-episode recovery statistics.
+type FaultResult struct {
+	RunResult
+	// Injections is the number of injections performed.
+	Injections int
+	// Recovered counts the episodes that ended in silence.
+	Recovered int
+	// Episodes holds per-injection statistics, in injection order. The
+	// slice is reused across trials on the same result buffer.
+	Episodes []Episode
+}
+
+// AllRecovered reports whether every injection was followed by a return
+// to silence (and at least one injection happened).
+func (r *FaultResult) AllRecovered() bool {
+	return r.Injections > 0 && r.Recovered == r.Injections
+}
+
+// MaxRecoveryRounds returns the largest per-episode recovery round count.
+func (r *FaultResult) MaxRecoveryRounds() int {
+	m := 0
+	for i := range r.Episodes {
+		if r.Episodes[i].RecoveryRounds > m {
+			m = r.Episodes[i].RecoveryRounds
+		}
+	}
+	return m
+}
+
+// MaxRadius returns the largest per-episode containment radius.
+func (r *FaultResult) MaxRadius() int {
+	m := 0
+	for i := range r.Episodes {
+		if r.Episodes[i].Radius > m {
+			m = r.Episodes[i].Radius
+		}
+	}
+	return m
+}
+
+// faultRun is the runner's reusable injected-trial state.
+type faultRun struct {
+	obs     faultObserver
+	contain fault.Containment
+	faulted []int
+}
+
+// faultObserver forwards every engine event to the trace recorder
+// (keeping Report byte-identical to an uninjected run's) and, while a
+// recovery episode is open, folds each fired action into the episode's
+// containment radius.
+type faultObserver struct {
+	rec     *trace.Recorder
+	contain *fault.Containment
+	active  bool
+}
+
+var _ model.Observer = (*faultObserver)(nil)
+
+func (o *faultObserver) StepBegin(step int, selected []int) { o.rec.StepBegin(step, selected) }
+
+func (o *faultObserver) Read(step, p, q int, kind model.VarKind, v, bits int) {
+	o.rec.Read(step, p, q, kind, v, bits)
+}
+
+func (o *faultObserver) ActionFired(step, p, a int) {
+	o.rec.ActionFired(step, p, a)
+	if o.active && a >= 0 {
+		o.contain.Moved(p)
+	}
+}
+
+func (o *faultObserver) CommWrite(step, p, v, old, new int) { o.rec.CommWrite(step, p, v, old, new) }
+
+func (o *faultObserver) StepEnd(step int, selected []int, roundCompleted bool) {
+	o.rec.StepEnd(step, selected, roundCompleted)
+}
+
+// ballRadiusReporter is implemented by adversaries that know the radius
+// of the fault region they just corrupted (fault.Cluster).
+type ballRadiusReporter interface{ LastBallRadius() int }
+
+// Adversary returns the adversary for a trial, caching by key exactly
+// like Scheduler caches by name: when the runner's cached adversary was
+// built under the same key it is reused (RunFaulted rewinds it to the
+// trial seed, equivalent to a fresh construction); otherwise mk builds
+// and caches a new one. The key must uniquely determine mk's behavior —
+// use name plus parameters, e.g. "uniform/4".
+func (r *Runner) Adversary(key string, mk func() fault.Adversary) fault.Adversary {
+	if r.adv != nil && key != "" && r.advKey == key {
+		return r.adv
+	}
+	r.adv = mk()
+	r.advKey = key
+	return r.adv
+}
+
+// RunFaulted executes one trial from the runner's initial-configuration
+// buffer (see InitialConfig) under a fault plan: plan.Adversary is
+// rewound to opts.Seed and strikes at the instants plan.Schedule
+// selects; after the final injection the run continues to silence (or
+// MaxSteps), and the embedded RunResult describes that final recovery
+// exactly as Run would. Per-injection recovery statistics land in
+// res.Episodes.
+//
+// A plan scheduled at-start with a single injection is byte-equivalent
+// to corrupting the initial buffer by hand and calling Run: the same
+// draw stream, the same execution, the same report. Mid-run injections
+// mutate the live configuration between steps; every corrupted process
+// is marked dirty (Simulator.MarkDirty) so the incremental
+// enabled/silence caches stay sound. When the system reaches silence
+// while injections are still pending, the next injection fires at the
+// silence point regardless of schedule kind; an episode still unrecovered
+// when the next injection is due is closed as unrecovered.
+//
+// Like Run, res never aliases runner-owned memory and the
+// initial-configuration buffer is consumed.
+func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan, res *FaultResult) error {
+	if plan.Adversary == nil {
+		return fmt.Errorf("core: RunFaulted without an adversary")
+	}
+	if opts.Scheduler == nil {
+		return fmt.Errorf("core: RunOptions.Scheduler is required")
+	}
+	if opts.MaxSteps <= 0 {
+		return fmt.Errorf("core: RunOptions.MaxSteps must be positive")
+	}
+	if r.sys != sys || r.cfg == nil {
+		return fmt.Errorf("core: Runner.RunFaulted without an initial configuration for this system (call InitialConfig first)")
+	}
+	if r.rec == nil {
+		r.rec = trace.NewRecorder(sys.N())
+	} else {
+		r.rec.Reset(sys.N())
+	}
+	adv := plan.Adversary
+	adv.Reset(opts.Seed)
+	total := plan.Schedule.Injections()
+
+	fr := &r.fr
+	fr.obs.rec = r.rec
+	fr.obs.contain = &fr.contain
+	fr.obs.active = false
+	res.Injections, res.Recovered = 0, 0
+	res.Episodes = res.Episodes[:0]
+
+	if plan.Schedule.Kind == fault.KindAtStart {
+		// The start injection corrupts the initial buffer before the
+		// simulator adopts it; Reset re-derives every cache, so no dirty
+		// marking is needed.
+		fr.faulted = adv.Inject(sys, r.cfg, fr.faulted[:0])
+	}
+	if err := r.sim.Reset(sys, r.cfg, opts.Scheduler, opts.Seed, &fr.obs); err != nil {
+		return err
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+
+	var roundsAtInjection int
+	var ep Episode
+	openEpisode := func() {
+		fr.contain.Begin(sys.Graph(), fr.faulted)
+		ep = Episode{Step: r.sim.Steps(), Faulted: len(fr.faulted), BallRadius: -1}
+		if br, ok := adv.(ballRadiusReporter); ok {
+			ep.BallRadius = br.LastBallRadius()
+		}
+		roundsAtInjection = r.sim.Rounds()
+		fr.obs.active = true
+		res.Injections++
+	}
+	closeEpisode := func(recovered bool) {
+		ep.Recovered = recovered
+		ep.RecoveryRounds = r.sim.Rounds() - roundsAtInjection
+		ep.Radius = fr.contain.Radius()
+		if recovered {
+			res.Recovered++
+		}
+		res.Episodes = append(res.Episodes, ep)
+		fr.obs.active = false
+	}
+	injectLive := func() {
+		fr.faulted = adv.Inject(sys, r.sim.Config(), fr.faulted[:0])
+		for _, p := range fr.faulted {
+			r.sim.MarkDirty(p)
+		}
+		openEpisode()
+	}
+	if plan.Schedule.Kind == fault.KindAtStart {
+		openEpisode()
+	}
+
+	finalSilent := false
+	for {
+		limit := opts.MaxSteps
+		if res.Injections < total {
+			if due := plan.Schedule.NextStep(r.sim.Steps()); due >= 0 && due < limit {
+				limit = due
+			}
+		}
+		silent, err := r.sim.RunUntilSilent(limit, checkEvery)
+		if err != nil {
+			return err
+		}
+		if silent {
+			if fr.obs.active {
+				closeEpisode(true)
+			}
+			if res.Injections < total {
+				injectLive()
+				continue
+			}
+			finalSilent = true
+			break
+		}
+		if r.sim.Steps() >= opts.MaxSteps {
+			if fr.obs.active {
+				closeEpisode(false)
+			}
+			break
+		}
+		// Paused at a scheduled mid-run injection instant.
+		if fr.obs.active {
+			closeEpisode(false)
+		}
+		injectLive()
+	}
+
+	res.Silent = finalSilent
+	res.StepsToSilence = r.sim.Steps()
+	res.RoundsToSilence = r.sim.Rounds()
+	res.LegitimateAtSilence = false
+	if finalSilent && opts.Legitimate != nil {
+		res.LegitimateAtSilence = opts.Legitimate(sys, r.sim.Config())
+	}
+	if finalSilent && opts.SuffixRounds > 0 {
+		r.rec.MarkSuffix()
+		r.sim.RunRounds(opts.SuffixRounds)
+	}
+	r.rec.ReportInto(&res.Report)
+	if res.Final == nil {
+		res.Final = model.NewZeroConfig(sys)
+	}
+	res.Final.CopyFrom(r.sim.Config())
+	return nil
+}
+
+// RunRandomFaulted is RunFaulted from a uniformly random initial
+// configuration drawn from opts.Seed, exactly as RunRandom draws it.
+func (r *Runner) RunRandomFaulted(sys *model.System, opts RunOptions, plan fault.Plan, res *FaultResult) error {
+	cfg := r.InitialConfig(sys)
+	r.initSrc.Reseed(opts.Seed)
+	model.RandomizeConfig(sys, cfg, r.initRand)
+	return r.RunFaulted(sys, opts, plan, res)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -29,8 +30,14 @@ type Runner struct {
 	schedName string
 	sched     model.Scheduler
 
+	advKey string
+	adv    fault.Adversary
+
 	initSrc  rng.SplitMix
 	initRand *rng.Rand
+
+	// fr holds the reusable injected-trial state behind RunFaulted.
+	fr faultRun
 }
 
 // NewRunner returns an empty Runner; buffers bind lazily on first use.

@@ -2,7 +2,9 @@
 // paper: each theorem, lemma, proof construction and example figure is
 // an experiment (E1-E15, indexed in DESIGN.md) producing a table that
 // EXPERIMENTS.md records, together with a pass flag stating whether the
-// measured data is consistent with the paper's claim.
+// measured data is consistent with the paper's claim. E16-E18 extend
+// the registry along the adversary axis (internal/fault): fault shape,
+// fault timing and fault locality of the recovery the paper promises.
 //
 // Trials run on a parallel sharded worker pool (see pool.go). The engine
 // is deterministic: per-trial seeds are derived from (Config.Seed, cell
@@ -101,6 +103,9 @@ func Registry() []struct {
 		{"E13", E13Transformer},
 		{"E14", E14ScalingCurves},
 		{"E15", E15FaultContainment},
+		{"E16", E16AdversaryGrid},
+		{"E17", E17RepeatedInjection},
+		{"E18", E18ClusterContainment},
 	}
 }
 

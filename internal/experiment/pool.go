@@ -50,6 +50,10 @@ type Cell struct {
 	// passes a fresh res when results are retained (RunCells) and a
 	// reused buffer when they are folded away (RunCellsReduce).
 	RunOn func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error
+	// RunFaultOn executes the trial as an injected (adversarial-fault)
+	// trial, filling a FaultResult in place. Cells of this form run only
+	// under RunFaultCellsReduce.
+	RunFaultOn func(rn *core.Runner, trial int, seed uint64, res *core.FaultResult) error
 }
 
 // runTrial executes one trial of c, materializing into reuse when
@@ -136,6 +140,37 @@ func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *co
 					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
 				}
 				if err := fold(i, trial, res); err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+			}
+			return nil
+		})
+}
+
+// RunFaultCellsReduce is RunCellsReduce for injected trials: every cell
+// must set RunFaultOn, and every result — the final run outcome plus the
+// per-injection recovery episodes — streams through fold. Scheduling,
+// trial seeds, cell affinity and the fold's ordering/concurrency
+// contract are exactly RunCellsReduce's; res (including res.Episodes) is
+// a worker-owned buffer valid only for the duration of the call.
+func RunFaultCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.FaultResult) error) error {
+	cfg = cfg.withDefaults()
+	cellSeeds := cellSeedsFor(cfg, cells)
+	type wctx struct {
+		rn  *core.Runner
+		res core.FaultResult
+	}
+	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
+		func(w *wctx, i int) error {
+			if cells[i].RunFaultOn == nil {
+				return fmt.Errorf("cell %q has no RunFaultOn", cells[i].Key)
+			}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := rng.Derive(cellSeeds[i], uint64(trial))
+				if err := cells[i].RunFaultOn(w.rn, trial, seed, &w.res); err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+				if err := fold(i, trial, &w.res); err != nil {
 					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
 				}
 			}

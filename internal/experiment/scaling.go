@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/model"
 	"repro/internal/protocols/matching"
 	"repro/internal/protocols/mis"
 	"repro/internal/rng"
@@ -105,6 +104,12 @@ func E14ScalingCurves(cfg Config) (*Result, error) {
 // Self-stabilization guarantees recovery from any k; the experiment
 // verifies recovery always succeeds and reports how the cost grows with
 // the fault size.
+//
+// E15 is the thin special case of the adversary subsystem: the uniform
+// adversary injected once at start (fault.AtStart), whose draw stream is
+// byte-identical to the legacy clone-then-corrupt path. E16 widens the
+// grid to every adversary shape, E17 to repeated injections, E18 to
+// clustered faults.
 func E15FaultContainment(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	graphs, err := suite(cfg)
@@ -115,73 +120,31 @@ func E15FaultContainment(cfg Config) (*Result, error) {
 	faultFractions := []float64{0.1, 0.25, 0.5, 1.0}
 	families := []string{FamColoring, FamMIS, FamMatching}
 
-	// Phase 1: reach one legitimate silent configuration per family.
-	baseSpecs := make([]ProtoCell, len(families))
-	for i, family := range families {
-		baseSpecs[i] = ProtoCell{Graph: g, Family: family}
-	}
-	baseCells, err := RunProtoCells(cfg, baseSpecs)
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 2: the fault grid — every (family, fault-size) cell corrupts
-	// the silent configuration per trial and re-runs to silence.
 	type faultCell struct {
 		family string
 		k      int
 	}
+	snapshots, err := silentSnapshots(cfg, g, families)
+	if err != nil {
+		return nil, err
+	}
 	var grid []faultCell
 	var cells []Cell
 	for fi, family := range families {
-		var silentCfg *model.Config
-		for _, r := range baseCells[fi] {
-			if r.Silent && r.LegitimateAtSilence {
-				silentCfg = r.Final
-				break
-			}
-		}
-		if silentCfg == nil {
-			return nil, fmt.Errorf("experiment: %s produced no legitimate silent run", family)
-		}
 		sys, legit, err := protocolSystem(g, family)
 		if err != nil {
 			return nil, err
 		}
+		silentCfg := snapshots[fi]
 		for _, frac := range faultFractions {
 			k := int(frac * float64(g.N()))
 			if k < 1 {
 				k = 1
 			}
 			grid = append(grid, faultCell{family: family, k: k})
-			silentCfg, k := silentCfg, k
-			cells = append(cells, Cell{
-				Key: fmt.Sprintf("%s|%s|faults=%d", g.Name(), family, k),
-				RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
-					// Corrupt k processes of the silent snapshot directly
-					// in the runner-owned buffer (the stream of draws is
-					// exactly the old clone-then-corrupt path's).
-					r := rng.New(seed)
-					corrupted := rn.InitialConfig(sys)
-					corrupted.CopyFrom(silentCfg)
-					perm := r.Perm(g.N())
-					for _, p := range perm[:k] {
-						for v := range corrupted.Comm[p] {
-							corrupted.Comm[p][v] = r.Intn(sys.CommDomain(p, v))
-						}
-						for v := range corrupted.Internal[p] {
-							corrupted.Internal[p][v] = r.Intn(sys.InternalDomain(p, v))
-						}
-					}
-					return rn.Run(sys, core.RunOptions{
-						Scheduler:  rn.Scheduler(defaultSchedName, seed, defaultSched),
-						Seed:       seed,
-						MaxSteps:   cfg.MaxSteps,
-						CheckEvery: 1,
-						Legitimate: legit,
-					}, res)
-				},
-			})
+			cells = append(cells, snapshotFaultCell(cfg,
+				fmt.Sprintf("%s|%s|faults=%d", g.Name(), family, k),
+				sys, legit, silentCfg, "uniform", k))
 		}
 	}
 	type acc struct {
@@ -189,7 +152,7 @@ func E15FaultContainment(cfg Config) (*Result, error) {
 		rounds               []float64
 	}
 	accs := make([]acc, len(grid))
-	err = RunCellsReduce(cfg, cells, func(cell, _ int, res *core.RunResult) error {
+	err = RunFaultCellsReduce(cfg, cells, func(cell, _ int, res *core.FaultResult) error {
 		a := &accs[cell]
 		if res.Silent && res.LegitimateAtSilence {
 			a.recovered++

@@ -1,0 +1,71 @@
+package fault
+
+import "repro/internal/graph"
+
+// Containment measures the locality of one recovery episode: after an
+// injection, the containment radius is the maximum graph distance from
+// the faulted set to any process that moves (fires an action) before the
+// system is silent again. Radius 0 means corrections never left the
+// faulted processes themselves; a radius near the graph's eccentricity
+// means the fault's effects swept the whole network.
+//
+// Begin runs one multi-source BFS from the faulted set on reusable
+// buffers; Moved folds a moving process into the running maximum. Both
+// are allocation-free once the buffers are bound to the graph's size.
+type Containment struct {
+	dist   []int
+	queue  []int
+	radius int
+}
+
+// Begin starts a new episode: distances are recomputed from the faulted
+// set and the running radius is cleared. An empty faulted set yields
+// distance -1 everywhere and the episode's radius stays 0.
+func (c *Containment) Begin(g *graph.Graph, faulted []int) {
+	n := g.N()
+	if cap(c.dist) < n {
+		c.dist = make([]int, n)
+		c.queue = make([]int, 0, n)
+	}
+	c.dist = c.dist[:n]
+	for i := range c.dist {
+		c.dist[i] = -1
+	}
+	c.queue = c.queue[:0]
+	for _, p := range faulted {
+		if c.dist[p] == -1 {
+			c.dist[p] = 0
+			c.queue = append(c.queue, p)
+		}
+	}
+	for head := 0; head < len(c.queue); head++ {
+		p := c.queue[head]
+		for port := 1; port <= g.Degree(p); port++ {
+			q := g.Neighbor(p, port)
+			if c.dist[q] == -1 {
+				c.dist[q] = c.dist[p] + 1
+				c.queue = append(c.queue, q)
+			}
+		}
+	}
+	c.radius = 0
+}
+
+// Dist returns the distance of p from the episode's faulted set (-1 when
+// unreachable or before Begin).
+func (c *Containment) Dist(p int) int {
+	if p < 0 || p >= len(c.dist) {
+		return -1
+	}
+	return c.dist[p]
+}
+
+// Moved folds a moving process into the episode's radius.
+func (c *Containment) Moved(p int) {
+	if d := c.Dist(p); d > c.radius {
+		c.radius = d
+	}
+}
+
+// Radius returns the episode's containment radius so far.
+func (c *Containment) Radius() int { return c.radius }

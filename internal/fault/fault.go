@@ -1,0 +1,220 @@
+// Package fault is the adversary subsystem of the simulator: transient
+// fault models ("adversaries") that corrupt a live configuration, the
+// schedules deciding when they strike during an execution, and the
+// containment instrumentation measuring how far the resulting
+// corrections propagate.
+//
+// Self-stabilization (Section 1 of the paper) promises recovery from
+// *arbitrary* transient faults: any finite burst of corruption of
+// communication registers or internal state is forgotten in finite time.
+// The experiment registry exercises that promise along three axes —
+// fault shape (Adversary), fault timing (Schedule) and fault locality
+// (Containment) — through core.Runner.RunFaulted, which drives a pooled
+// trial with mid-run injections while keeping the simulator's
+// incremental enabled/silence caches sound (every corrupted process is
+// marked dirty exactly like a process that moved, see
+// model.Simulator.MarkDirty).
+//
+// Determinism contract: an Adversary draws all randomness from a private
+// generator reseeded by Reset(seed). Reset-then-Inject emits exactly the
+// stream of a freshly built adversary, so the trial pool can reuse one
+// adversary instance per worker (like schedulers and runners) without
+// perturbing results; after the first injection on a system, Inject
+// performs no heap allocation.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Adversary corrupts processes of a live configuration in place. It is
+// the fault-side counterpart of a scheduler: deterministic under Reset,
+// reusable across trials, and never allocating on the steady-state path.
+type Adversary interface {
+	// Name identifies the adversary shape in tables and CLI flags.
+	Name() string
+	// Reset rewinds the adversary's private randomness to the stream of
+	// a freshly constructed instance with that seed.
+	Reset(seed uint64)
+	// Inject corrupts some processes of cfg in place, appends their ids
+	// to dst and returns the extended slice. Written values must lie in
+	// the variables' domains. The caller owns cache maintenance: after
+	// an injection into a configuration driven by a model.Simulator,
+	// every returned id must be passed to Simulator.MarkDirty.
+	Inject(sys *model.System, cfg *model.Config, dst []int) []int
+}
+
+// ScheduleKind enumerates the injection timings.
+type ScheduleKind int
+
+// Injection timings: once into the initial configuration, once before a
+// fixed step, periodically every T steps, or at each silence point.
+const (
+	KindAtStart ScheduleKind = iota
+	KindAtStep
+	KindEvery
+	KindOnSilence
+)
+
+// Schedule decides when an adversary strikes during a run. Regardless of
+// kind, Count injections are performed in total; if the system reaches
+// silence while step-scheduled injections are still pending, the pending
+// injection fires at the silence point instead (the adversary does not
+// wait for a finished computation), so every planned injection happens
+// and every run still terminates at a final silence or at MaxSteps.
+type Schedule struct {
+	// Kind selects the timing rule.
+	Kind ScheduleKind
+	// T is the step instant (KindAtStep) or period (KindEvery); ignored
+	// otherwise.
+	T int
+	// Count is the total number of injections (default 1).
+	Count int
+}
+
+// AtStart schedules one injection into the initial configuration,
+// before the first step. It is E15's legacy corruption timing.
+func AtStart() Schedule { return Schedule{Kind: KindAtStart, Count: 1} }
+
+// AtStep schedules one injection immediately before step t.
+func AtStep(t int) Schedule { return Schedule{Kind: KindAtStep, T: t, Count: 1} }
+
+// Every schedules count injections, one before every t-th step.
+func Every(t, count int) Schedule { return Schedule{Kind: KindEvery, T: t, Count: count} }
+
+// OnSilence schedules count injections, each fired when the system
+// reaches a silent configuration — the repeated-recovery regime of E17.
+func OnSilence(count int) Schedule { return Schedule{Kind: KindOnSilence, Count: count} }
+
+// Injections returns the total number of injections the schedule
+// performs (Count, at least 1).
+func (s Schedule) Injections() int {
+	if s.Count < 1 {
+		return 1
+	}
+	return s.Count
+}
+
+// NextStep returns the next step index at which a pending injection is
+// due, or -1 when the schedule only fires at start or at silence. now is
+// the current step index.
+func (s Schedule) NextStep(now int) int {
+	switch s.Kind {
+	case KindAtStep:
+		if s.T > now {
+			return s.T
+		}
+		return -1
+	case KindEvery:
+		if s.T <= 0 {
+			return -1
+		}
+		return (now/s.T + 1) * s.T
+	default:
+		return -1
+	}
+}
+
+// String renders the schedule in the CLI syntax accepted by
+// ParseSchedule.
+func (s Schedule) String() string {
+	switch s.Kind {
+	case KindAtStart:
+		return "at-start"
+	case KindAtStep:
+		return fmt.Sprintf("at-step:%d", s.T)
+	case KindEvery:
+		return fmt.Sprintf("every:%d:%d", s.T, s.Injections())
+	case KindOnSilence:
+		return fmt.Sprintf("on-silence:%d", s.Injections())
+	default:
+		return fmt.Sprintf("schedule(%d)", int(s.Kind))
+	}
+}
+
+// ParseSchedule parses the CLI schedule syntax:
+//
+//	at-start | at-step:T | every:T[:COUNT] | on-silence[:COUNT]
+func ParseSchedule(s string) (Schedule, error) {
+	parts := strings.Split(s, ":")
+	argInt := func(i, dflt int) (int, error) {
+		if len(parts) <= i {
+			return dflt, nil
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("fault: bad schedule argument %q in %q", parts[i], s)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "at-start":
+		return AtStart(), nil
+	case "at-step":
+		if len(parts) != 2 {
+			return Schedule{}, fmt.Errorf("fault: at-step needs a step, e.g. at-step:100")
+		}
+		t, err := argInt(1, 0)
+		if err != nil {
+			return Schedule{}, err
+		}
+		return AtStep(t), nil
+	case "every":
+		if len(parts) < 2 || len(parts) > 3 {
+			return Schedule{}, fmt.Errorf("fault: every needs a period, e.g. every:50 or every:50:4")
+		}
+		t, err := argInt(1, 0)
+		if err != nil {
+			return Schedule{}, err
+		}
+		count, err := argInt(2, 1)
+		if err != nil {
+			return Schedule{}, err
+		}
+		return Every(t, count), nil
+	case "on-silence":
+		if len(parts) > 2 {
+			return Schedule{}, fmt.Errorf("fault: on-silence takes at most a count, e.g. on-silence:3")
+		}
+		count, err := argInt(1, 1)
+		if err != nil {
+			return Schedule{}, err
+		}
+		return OnSilence(count), nil
+	default:
+		return Schedule{}, fmt.Errorf("fault: unknown schedule %q (want at-start, at-step:T, every:T[:N], on-silence[:N])", s)
+	}
+}
+
+// Plan pairs an adversary with its injection schedule: everything
+// core.Runner.RunFaulted needs to know about the fault side of a trial.
+type Plan struct {
+	Adversary Adversary
+	Schedule  Schedule
+}
+
+// ByName constructs an adversary from its CLI/table name with fault
+// size k (the number of processes corrupted per injection).
+func ByName(name string, k int) (Adversary, error) {
+	switch name {
+	case "uniform":
+		return NewUniform(k), nil
+	case "comm":
+		return NewCommOnly(k), nil
+	case "crash":
+		return NewCrashReset(k), nil
+	case "cluster":
+		return NewCluster(k), nil
+	default:
+		return nil, fmt.Errorf("fault: unknown adversary %q (known: %v)", name, Names())
+	}
+}
+
+// Names lists the adversary names accepted by ByName.
+func Names() []string {
+	return []string{"uniform", "comm", "crash", "cluster"}
+}

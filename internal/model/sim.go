@@ -287,6 +287,24 @@ func (s *Simulator) SilentNow() (bool, error) {
 // Step.
 func (s *Simulator) Tracker() *EnabledTracker { return s.tracker }
 
+// MarkDirty declares that process p's state was mutated outside of Step
+// (fault injection, external writes) and restores the soundness of the
+// incremental enabled/silence caches: p's own cached verdicts and those
+// of its neighbors are invalidated — exactly the dirty rule Step applies
+// to a process that moved and changed its communication row (see the
+// package comment on the invalidation invariant). External mutators must
+// call it for every process they touched before the next Step, SilentNow
+// or tracker probe.
+func (s *Simulator) MarkDirty(p int) {
+	s.orbitSilent[p] = false
+	s.tracker.Invalidate(p)
+	for port := 1; port <= s.sys.g.Degree(p); port++ {
+		q := s.sys.g.Neighbor(p, port)
+		s.orbitSilent[q] = false
+		s.tracker.Invalidate(q)
+	}
+}
+
 // RunSteps executes exactly k further steps.
 func (s *Simulator) RunSteps(k int) {
 	for i := 0; i < k; i++ {

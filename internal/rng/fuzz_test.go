@@ -1,0 +1,54 @@
+package rng
+
+import (
+	"slices"
+	"testing"
+)
+
+// FuzzAppendSubsetNonEmpty checks the scheduler-hot subset sampler
+// against its contract for arbitrary seeds, set sizes and destination
+// prefixes: the prefix is preserved, at least one element is appended,
+// every appended element lies in [0, n) in strictly increasing order,
+// and the draw is a pure function of the generator state (replaying the
+// seed reproduces it exactly, with or without a preallocated buffer).
+func FuzzAppendSubsetNonEmpty(f *testing.F) {
+	f.Add(uint64(1), 10, 3)
+	f.Add(uint64(42), 1, 0)
+	f.Add(uint64(2009), 64, 7)
+	f.Add(uint64(7), 65, 1)
+	f.Add(uint64(0), 128, 0)
+	f.Fuzz(func(t *testing.T, seed uint64, n, prefixLen int) {
+		if n <= 0 || n > 1<<12 {
+			t.Skip()
+		}
+		prefixLen &= 0xF
+		dst := make([]int, prefixLen)
+		for i := range dst {
+			dst[i] = -7 // sentinel outside any valid subset
+		}
+		out := New(seed).AppendSubsetNonEmpty(dst, n)
+		if len(out) <= prefixLen {
+			t.Fatalf("n=%d: nothing appended (len %d, prefix %d)", n, len(out), prefixLen)
+		}
+		for i := 0; i < prefixLen; i++ {
+			if out[i] != -7 {
+				t.Fatalf("n=%d: prefix clobbered at %d: %v", n, i, out[:prefixLen])
+			}
+		}
+		appended := out[prefixLen:]
+		prev := -1
+		for _, v := range appended {
+			if v < 0 || v >= n {
+				t.Fatalf("n=%d: element %d outside [0,%d)", n, v, n)
+			}
+			if v <= prev {
+				t.Fatalf("n=%d: not strictly increasing: %v", n, appended)
+			}
+			prev = v
+		}
+		replay := New(seed).AppendSubsetNonEmpty(nil, n)
+		if !slices.Equal(replay, appended) {
+			t.Fatalf("n=%d: replay %v differs from %v", n, replay, appended)
+		}
+	})
+}

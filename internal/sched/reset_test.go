@@ -63,3 +63,40 @@ func TestResetMatchesFresh(t *testing.T) {
 		})
 	}
 }
+
+// TestResetReplaysSelectionSequence: over random systems and seeds, a
+// scheduler driven through a computation and then Reset to the same seed
+// must reproduce its exact selection sequence when the computation is
+// replayed — selection is a pure function of (seed, step, configuration
+// history), with no hidden state surviving Reset.
+func TestResetReplaysSelectionSequence(t *testing.T) {
+	t.Parallel()
+	for si, sys := range propertySystems(t) {
+		for _, name := range Names() {
+			for seed := uint64(1); seed <= 3; seed++ {
+				sc, err := ByName(name, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const steps = 50
+				record := make([][]int, steps)
+				cfg := model.NewRandomConfig(sys, rng.New(seed))
+				for step := 0; step < steps; step++ {
+					sel := sc.Select(step, sys, cfg)
+					record[step] = append([]int(nil), sel...)
+					stepAll(sys, cfg, sel, step, seed)
+				}
+				sc.(Resettable).Reset(seed)
+				cfg = model.NewRandomConfig(sys, rng.New(seed))
+				for step := 0; step < steps; step++ {
+					sel := sc.Select(step, sys, cfg)
+					if !slices.Equal(sel, record[step]) {
+						t.Fatalf("system %d %s seed %d step %d: replay selects %v, recorded %v",
+							si, name, seed, step, sel, record[step])
+					}
+					stepAll(sys, cfg, sel, step, seed)
+				}
+			}
+		}
+	}
+}

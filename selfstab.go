@@ -262,7 +262,7 @@ func MatchedEdges(sys *model.System, cfg *model.Config) [][2]int {
 	return matching.MatchedEdges(sys, cfg)
 }
 
-// ExperimentIDs lists the experiment identifiers E1..E15.
+// ExperimentIDs lists the experiment identifiers E1..E18.
 func ExperimentIDs() []string { return experiment.IDs() }
 
 // ExperimentConfig re-exports the experiment configuration.
