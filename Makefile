@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test test-race bench bench-json bench-diff bench-diff-committed fuzz-smoke fmt vet check
+.PHONY: build test test-race bench bench-json bench-diff bench-diff-committed fuzz-smoke campaign-smoke fmt vet check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,25 @@ FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test ./internal/graph -fuzz FuzzGraphEncodingRoundTrip -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/rng -fuzz FuzzAppendSubsetNonEmpty -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/campaign -fuzz FuzzParseCampaign -fuzztime $(FUZZTIME) -run '^$$'
+
+# Campaign smoke: run the bundled quickstart campaign twice against one
+# cache directory; the second run must be 100% cache hits and both runs
+# must produce byte-identical JSONL and table output. This is the
+# end-to-end proof of the campaign subsystem's resume contract, cheap
+# enough for every push.
+CAMPAIGN_SMOKE_DIR ?= /tmp/campaign-smoke
+campaign-smoke:
+	rm -rf $(CAMPAIGN_SMOKE_DIR) && mkdir -p $(CAMPAIGN_SMOKE_DIR)
+	$(GO) run ./cmd/sscampaign -cache $(CAMPAIGN_SMOKE_DIR)/cache -jsonl $(CAMPAIGN_SMOKE_DIR)/run1.jsonl \
+		examples/campaigns/quickstart.campaign > $(CAMPAIGN_SMOKE_DIR)/table1.txt 2> $(CAMPAIGN_SMOKE_DIR)/status1.txt
+	$(GO) run ./cmd/sscampaign -cache $(CAMPAIGN_SMOKE_DIR)/cache -jsonl $(CAMPAIGN_SMOKE_DIR)/run2.jsonl \
+		examples/campaigns/quickstart.campaign > $(CAMPAIGN_SMOKE_DIR)/table2.txt 2> $(CAMPAIGN_SMOKE_DIR)/status2.txt
+	cmp $(CAMPAIGN_SMOKE_DIR)/run1.jsonl $(CAMPAIGN_SMOKE_DIR)/run2.jsonl
+	cmp $(CAMPAIGN_SMOKE_DIR)/table1.txt $(CAMPAIGN_SMOKE_DIR)/table2.txt
+	grep -q ', cache 0 hits' $(CAMPAIGN_SMOKE_DIR)/status1.txt
+	grep -Eq ', cache [1-9][0-9]* hits, 0 misses' $(CAMPAIGN_SMOKE_DIR)/status2.txt
+	@echo "campaign smoke OK: byte-identical output, second run fully cached"
 
 # Machine-readable perf trajectory: run the engine core benchmarks (step
 # engine, enabled tracker, trial pipeline, recorder) and record

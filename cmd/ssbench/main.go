@@ -6,7 +6,8 @@
 // Usage:
 //
 //	ssbench                      # run everything, text tables
-//	ssbench -run E3,E5           # selected experiments
+//	ssbench -list                # print the registry (id + description)
+//	ssbench -run E3,E5           # selected experiments (unknown ids error)
 //	ssbench -markdown            # markdown output (EXPERIMENTS.md body)
 //	ssbench -quick -trials 2     # fast pass
 //	ssbench -parallelism 1       # sequential pool (identical tables)
@@ -45,7 +46,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
 	var (
-		runIDs      = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		list        = fs.Bool("list", false, "print the experiment registry (id and description) and exit")
+		runIDs      = fs.String("run", "", "comma-separated experiment ids (default: all; unknown ids are a hard error)")
 		seed        = fs.Uint64("seed", 2009, "master seed")
 		trials      = fs.Int("trials", 5, "adversarial initial configurations per cell")
 		maxSteps    = fs.Int("max-steps", 1_000_000, "per-run step budget")
@@ -59,6 +61,12 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, e := range experiment.Registry() {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Desc)
+		}
+		return nil
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/experiment"
 )
 
 func TestRunSelectedExperimentText(t *testing.T) {
@@ -45,8 +47,38 @@ func TestRunMultipleIDs(t *testing.T) {
 
 func TestRunUnknownID(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-run", "E99"}, &sb); err == nil {
+	err := run([]string{"-run", "E99"}, &sb)
+	if err == nil {
 		t.Fatal("unknown experiment id accepted")
+	}
+	// The hard error must name the offending id and list every valid id.
+	for _, frag := range []string{`"E99"`, "valid ids", "E1", "E18"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("unknown-id error missing %q: %v", frag, err)
+		}
+	}
+	// An empty element (trailing comma) is an error too, never a skip.
+	if err := run([]string{"-run", "E3,"}, &sb); err == nil {
+		t.Fatal("empty experiment id accepted")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, e := range experiment.Registry() {
+		if !strings.Contains(out, e.ID+" ") && !strings.Contains(out, e.ID+"  ") {
+			t.Fatalf("-list output missing %s:\n%s", e.ID, out)
+		}
+		if !strings.Contains(out, e.Desc) {
+			t.Fatalf("-list output missing description of %s:\n%s", e.ID, out)
+		}
+	}
+	if strings.Contains(out, "verdict") {
+		t.Fatal("-list must not run experiments")
 	}
 }
 

@@ -1,0 +1,139 @@
+// Command sscampaign compiles and runs declarative campaign files:
+// scenario sweeps over graph × protocol × daemon × adversary axes,
+// executed on the parallel trial pool with a content-addressed result
+// cache and shard/K-of-N execution (see internal/campaign and the
+// README's "Campaigns" section for the DSL grammar).
+//
+// Usage:
+//
+//	sscampaign file.campaign                 # run, summary table on stdout
+//	sscampaign -csv file.campaign            # CSV summary instead of text
+//	sscampaign -jsonl out.jsonl file.campaign  # per-trial records ("-": stdout)
+//	sscampaign -cache .campaign-cache file.campaign   # resume / incremental
+//	sscampaign -shard 0/2 file.campaign      # this process runs cells [0, C/2)
+//	sscampaign -print file.campaign          # canonical spec, no execution
+//
+// Determinism: for a fixed campaign file the output bytes are identical
+// across -parallelism values and across cache states, and concatenating
+// the -shard i/n outputs in shard order reproduces the unsharded
+// output. Cache statistics go to stderr, never stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sscampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sscampaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		parallelism = fs.Int("parallelism", 0, "trial pool workers (0: GOMAXPROCS; results are identical for every value)")
+		shardSpec   = fs.String("shard", "", "run only shard i of n, written i/n (contiguous cell-index partition)")
+		cacheDir    = fs.String("cache", "", "content-addressed result cache directory (enables resume and incremental sweeps)")
+		jsonlPath   = fs.String("jsonl", "", "write per-trial JSONL records to this path (\"-\": stdout, suppresses the table)")
+		csvOut      = fs.Bool("csv", false, "render the summary table as CSV instead of aligned text")
+		printSpec   = fs.Bool("print", false, "parse, print the canonical campaign spec and exit without running")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one campaign file argument (got %d)", fs.NArg())
+	}
+	if *csvOut && *jsonlPath == "-" {
+		return fmt.Errorf("-csv and -jsonl - both claim stdout: write the JSONL to a file instead")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	spec, err := campaign.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if *printSpec {
+		_, err := io.WriteString(stdout, spec.String())
+		return err
+	}
+	shard, shards, err := parseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+
+	plan, err := campaign.Compile(spec, *parallelism)
+	if err != nil {
+		return err
+	}
+	out, err := plan.Run(campaign.RunOptions{Shard: shard, Shards: shards, CacheDir: *cacheDir})
+	if err != nil {
+		return err
+	}
+
+	status := fmt.Sprintf("campaign %s: %d cells", spec.Name, len(plan.Cells))
+	if shards > 1 {
+		status += fmt.Sprintf(", shard %d/%d owns %d", shard, shards, len(out.Results))
+	}
+	if *cacheDir != "" {
+		status += fmt.Sprintf(", cache %d hits, %d misses", out.CacheHits, out.CacheMisses)
+	}
+	fmt.Fprintln(stderr, status)
+
+	if *jsonlPath == "-" {
+		return out.WriteJSONL(stdout)
+	}
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			return err
+		}
+		if err := out.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *csvOut {
+		return out.Table().CSV(stdout)
+	}
+	_, err = fmt.Fprint(stdout, out.Table().String())
+	return err
+}
+
+// parseShard parses "i/n" ("" means run everything). Parsing is strict
+// — trailing garbage in either number is an error, never a silently
+// different shard — because a mis-parsed shard in a distributed run
+// would compute the wrong cell range.
+func parseShard(s string) (shard, shards int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	shard, err1 := strconv.Atoi(s[:i])
+	shards, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	if shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("bad -shard %q (want 0 <= i < n)", s)
+	}
+	return shard, shards, nil
+}

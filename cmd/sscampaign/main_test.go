@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSrc = `campaign clitest
+trials 2
+max-steps 100000
+graph path 4
+protocol coloring mis
+metrics silent legitimate rounds
+`
+
+func writeCampaign(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.campaign")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTable(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{writeCampaign(t, testSrc)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"campaign clitest: 2 cells × 2 trials", "path-4|coloring|random-subset|0", "2/2"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("table output missing %q:\n%s", frag, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "campaign clitest: 2 cells") {
+		t.Fatalf("status line missing:\n%s", errOut.String())
+	}
+	if strings.Contains(errOut.String(), "cache") {
+		t.Fatal("cache stats reported without -cache")
+	}
+}
+
+func TestRunPrintCanonical(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-print", writeCampaign(t, "campaign p\ngraph path 4\nprotocol coloring\n")}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical form resolves every default.
+	for _, frag := range []string{"campaign p\n", "seed 2009\n", "trials 5\n", "daemon random-subset\n", "metrics silent"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("-print missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestRunJSONLToStdout(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-jsonl", "-", writeCampaign(t, testSrc)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 4 { // 2 cells × 2 trials
+		t.Fatalf("want 4 JSONL lines, got %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], `{"cell":0,"key":"path-4|coloring|random-subset|0","trial":0`) {
+		t.Fatalf("unexpected first record: %s", lines[0])
+	}
+	if strings.Contains(out.String(), "cells ×") {
+		t.Fatal("-jsonl - must suppress the table on stdout")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-csv", writeCampaign(t, testSrc)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "cell,key,silent,legitimate,rounds\n") {
+		t.Fatalf("CSV header wrong:\n%s", out.String())
+	}
+}
+
+func TestRunCacheAndShard(t *testing.T) {
+	var errOut strings.Builder
+	path := writeCampaign(t, testSrc)
+	cache := filepath.Join(t.TempDir(), "cache")
+	var first strings.Builder
+	if err := run([]string{"-cache", cache, "-shard", "0/2", path}, &first, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "shard 0/2 owns 1") || !strings.Contains(errOut.String(), "cache 0 hits, 1 misses") {
+		t.Fatalf("shard/cache status wrong:\n%s", errOut.String())
+	}
+	// Unsharded resume: the shard's cell hits, the other misses.
+	errOut.Reset()
+	var second strings.Builder
+	if err := run([]string{"-cache", cache, path}, &second, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "cache 1 hits, 1 misses") {
+		t.Fatalf("resume status wrong:\n%s", errOut.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{}, &out, &errOut); err == nil {
+		t.Fatal("missing file argument accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "absent.campaign")}, &out, &errOut); err == nil {
+		t.Fatal("unreadable file accepted")
+	}
+	bad := writeCampaign(t, "campaign x\ngraph warp 4\nprotocol coloring\n")
+	if err := run([]string{bad, bad}, &out, &errOut); err == nil {
+		t.Fatal("two file arguments accepted")
+	}
+	if err := run([]string{bad}, &out, &errOut); err == nil || !strings.Contains(err.Error(), "unknown graph family") {
+		t.Fatalf("parse error not surfaced: %v", err)
+	}
+	good := writeCampaign(t, testSrc)
+	for _, shard := range []string{"2", "a/b", "2/2", "-1/2", "0/0", "0x1/2", "1/2abc", "0 /2"} {
+		if err := run([]string{"-shard", shard, good}, &out, &errOut); err == nil {
+			t.Fatalf("bad -shard %q accepted", shard)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EngineVersion stamps every cache fingerprint. Bump it whenever a
+// change anywhere in the trial pipeline (engine, model, sched, fault,
+// protocols) can alter the records computed for an unchanged cell spec:
+// stale entries then miss instead of resurrecting outdated results.
+const EngineVersion = "campaign-engine-v1"
+
+// cellFingerprint is the canonical content identity of one cell's
+// results: everything that determines the records' bytes — the engine
+// version, the seed/trial/budget configuration, and the cell's resolved
+// coordinates including its seed key. The output `metrics` selection is
+// deliberately absent: the cache stores complete records, so re-running
+// with different selectors stays a pure cache hit.
+func (p *Plan) cellFingerprint(cs *CellSpec) string {
+	parts := []string{
+		EngineVersion,
+		"seed=" + strconv.FormatUint(p.cfg.Seed, 10),
+		"trials=" + strconv.Itoa(p.cfg.Trials),
+		"max-steps=" + strconv.Itoa(p.cfg.MaxSteps),
+		"suffix-rounds=" + strconv.Itoa(p.Spec.SuffixRounds),
+		"graph=" + cs.GraphLine,
+		"protocol=" + cs.Protocol,
+		"daemon=" + cs.Daemon,
+		"adversary=" + cs.Adversary,
+		"k=" + strconv.Itoa(cs.K),
+		"inject=" + cs.Schedule.String(),
+		"key=" + cs.Key,
+	}
+	return strings.Join(parts, "\n")
+}
+
+// cellHash is the content address: the hex SHA-256 of the fingerprint.
+func cellHash(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheEntry is the on-disk cache file payload. The full fingerprint is
+// stored and verified on load, so a hash collision or a corrupted file
+// degrades to a cache miss, never to wrong results.
+type cacheEntry struct {
+	Fingerprint string        `json:"fingerprint"`
+	Records     []TrialRecord `json:"records"`
+}
+
+func cachePath(dir, hash string) string { return filepath.Join(dir, hash+".json") }
+
+// loadCache returns the cached records for a fingerprint, or nil when
+// the entry is absent, unreadable, or stale (wrong fingerprint or trial
+// count).
+func loadCache(dir, fingerprint string, trials int) []TrialRecord {
+	data, err := os.ReadFile(cachePath(dir, cellHash(fingerprint)))
+	if err != nil {
+		return nil
+	}
+	var entry cacheEntry
+	if json.Unmarshal(data, &entry) != nil ||
+		entry.Fingerprint != fingerprint || len(entry.Records) != trials {
+		return nil
+	}
+	return entry.Records
+}
+
+// storeCache persists one cell's records. The write is
+// temp-file-then-rename, so a crashed or concurrent shard never leaves
+// a torn entry for others to read.
+func storeCache(dir, fingerprint string, records []TrialRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: cache dir: %w", err)
+	}
+	data, err := json.Marshal(cacheEntry{Fingerprint: fingerprint, Records: records})
+	if err != nil {
+		return err
+	}
+	path := cachePath(dir, cellHash(fingerprint))
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	return nil
+}
+
+// CacheEntries reports how many cache files a directory currently
+// holds (diagnostics for tests and the CLI).
+func CacheEntries(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
+}

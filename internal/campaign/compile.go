@@ -1,0 +1,419 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// maxCells bounds a compiled campaign's cell count.
+const maxCells = 65536
+
+// Canonical cell-key templates, used when the campaign has no `key`
+// directive. The plain template is exactly the proto-cell key of the
+// experiment registry ("graph|family|scheduler|suffix"), so a plain
+// campaign's seed streams coincide with the registry's for the same
+// master seed.
+const (
+	defaultPlainKey = "{graph}|{protocol}|{daemon}|{suffix}"
+	defaultFaultKey = "{graph}|{protocol}|{daemon}|adv={adversary}|k={k}|inject={schedule}"
+)
+
+// CellSpec is one compiled cell: the resolved coordinates of a point in
+// the campaign's sweep space plus its seed/cache key.
+type CellSpec struct {
+	// Index is the cell's position in the campaign's deterministic cell
+	// order (the shard partition and the output order).
+	Index int
+	// Key is the expanded cell key: the string the cell's trial seeds
+	// derive from (rng.DeriveString(spec.Seed, Key)).
+	Key string
+	// Graph is the constructed topology; GraphLine is its canonical
+	// single-size descriptor (e.g. "grid 16"), the stable identity used
+	// for cache fingerprints.
+	Graph     *graph.Graph
+	GraphLine string
+	Protocol  string
+	Daemon    string
+	// Adversary/K/Schedule describe the fault axis ("" / 0 for plain
+	// convergence cells).
+	Adversary string
+	K         int
+	Schedule  fault.Schedule
+
+	snapshot *model.Config // silent snapshot, filled lazily (ensureSnapshots)
+}
+
+// atStart reports whether the cell injects into a silent snapshot.
+func (cs *CellSpec) atStart() bool {
+	return cs.Adversary != "" && cs.Schedule.Kind == fault.KindAtStart
+}
+
+// Plan is a compiled campaign: the deterministic cell list plus the
+// engine cells that execute it.
+type Plan struct {
+	Spec *Spec
+	// Cells is the expanded sweep, in deterministic order: graph line ×
+	// size × protocol × daemon × adversary line × k.
+	Cells []CellSpec
+	// Faulted reports whether the cells are injected-trial cells (the
+	// campaign has an adversary axis).
+	Faulted bool
+
+	cfg engine.Config
+	// cells is index-aligned with Cells; keys are filled at Compile,
+	// the run closures (and the systems they capture) lazily by
+	// ensureEngineCells for exactly the cells that will execute.
+	cells   []engine.Cell
+	systems map[sysKey]builtSys
+}
+
+// sysKey identifies a (graph, protocol) pair whose built system is
+// shared across cells (systems are immutable).
+type sysKey struct {
+	g     *graph.Graph
+	proto string
+}
+
+type builtSys struct {
+	sys   *model.System
+	legit engine.Legitimacy
+}
+
+// EngineConfig returns the engine configuration the plan runs under.
+func (p *Plan) EngineConfig() engine.Config { return p.cfg }
+
+// EngineCells materializes every cell (building systems and computing
+// any still-missing at-start snapshots in one warm-up batch) and
+// returns the runnable engine cells, index-aligned with Cells. Callers
+// that bypass Run (the rewired registry experiments) feed them to
+// engine.RunFaultCellsReduce / RunCellsReduce directly.
+func (p *Plan) EngineCells() ([]engine.Cell, error) {
+	all := make([]int, len(p.Cells))
+	for i := range all {
+		all[i] = i
+	}
+	if err := p.materialize(all); err != nil {
+		return nil, err
+	}
+	return p.cells, nil
+}
+
+// materialize prepares the given cells (indices into p.Cells) for
+// execution: snapshot warm-ups, then system construction and run
+// closures. Not safe for concurrent use (call before launching the
+// pool, as Run does).
+func (p *Plan) materialize(cells []int) error {
+	if err := p.ensureSnapshots(cells); err != nil {
+		return err
+	}
+	return p.ensureEngineCells(cells)
+}
+
+// Compile expands a campaign into its deterministic cell list and
+// builds every graph (cell keys embed graph names, so topologies must
+// exist up front). Protocol systems, run closures and the silent
+// snapshots required by at-start adversary cells are NOT built here:
+// they materialize lazily for exactly the cells a Run will execute, so
+// fully-cached resumes and foreign shards never pay for them.
+//
+// Determinism: the cell order is a pure function of the Spec; cell keys
+// (and so all trial seeds) never depend on parallelism, sharding or
+// caching. Snapshot warm-ups use the canonical proto-cell keys
+// ("graph|family|random-subset|0") and per-trial seeds derived from
+// those keys alone, so every campaign — and the experiment registry —
+// sees the same snapshot for the same (seed, graph, family) no matter
+// how (or whether) the warm-up batches are split.
+func Compile(spec *Spec, parallelism int) (*Plan, error) {
+	p := &Plan{
+		Spec:    spec,
+		Faulted: len(spec.Adversaries) > 0,
+		cfg: engine.Config{
+			Seed:        spec.Seed,
+			Trials:      spec.Trials,
+			MaxSteps:    spec.MaxSteps,
+			Parallelism: parallelism,
+		}.WithDefaults(),
+	}
+
+	// Reject oversized sweeps from the axis cardinalities alone, before
+	// any graph is built: the parser bounds each axis but not their
+	// product, and a hostile file must not cost more than arithmetic.
+	totalSizes := 0
+	for _, gs := range spec.Graphs {
+		totalSizes += len(gs.sizes())
+	}
+	perGraph := 1
+	if p.Faulted {
+		perGraph = 0
+		for _, adv := range spec.Adversaries {
+			perGraph += len(adv.Ks)
+		}
+	}
+	if total := totalSizes * len(spec.Protocols) * len(spec.Daemons) * perGraph; total > maxCells {
+		return nil, fmt.Errorf("campaign: %d cells exceed the %d-cell limit", total, maxCells)
+	}
+
+	// Graph axis: build every (line, size) topology once.
+	type builtGraph struct {
+		g    *graph.Graph
+		line string
+	}
+	var graphs []builtGraph
+	seenNames := map[string]string{}
+	for _, gs := range spec.Graphs {
+		for _, n := range gs.sizes() {
+			g, err := buildGraph(gs, n, spec.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: graph %s: %w", gs.lineFor(n), err)
+			}
+			// Many families clamp or round sizes (grid/torus to squares,
+			// hypercube to powers of two, spider ignores n entirely), so a
+			// sweep can collapse distinct swept sizes into one topology.
+			// Identically-named graphs would share cell keys — and trial
+			// seeds — so reject them here, where the colliding source
+			// lines can be named.
+			line := gs.lineFor(n)
+			if prev, dup := seenNames[g.Name()]; dup {
+				return nil, fmt.Errorf("campaign: `graph %s` and `graph %s` both build %q (the family clamps or rounds sizes): keep sizes/parameters that yield distinct graphs", prev, line, g.Name())
+			}
+			seenNames[g.Name()] = line
+			graphs = append(graphs, builtGraph{g: g, line: line})
+		}
+	}
+
+	// Cell expansion, in canonical axis order.
+	template := spec.KeyTemplate
+	for _, bg := range graphs {
+		for _, proto := range spec.Protocols {
+			for _, daemon := range spec.Daemons {
+				if !p.Faulted {
+					p.Cells = append(p.Cells, CellSpec{
+						Graph: bg.g, GraphLine: bg.line,
+						Protocol: proto, Daemon: daemon,
+					})
+					continue
+				}
+				for _, adv := range spec.Adversaries {
+					for _, k := range adv.Ks {
+						p.Cells = append(p.Cells, CellSpec{
+							Graph: bg.g, GraphLine: bg.line,
+							Protocol: proto, Daemon: daemon,
+							Adversary: adv.Name, K: k, Schedule: adv.Schedule,
+						})
+					}
+				}
+			}
+		}
+	}
+	if template == "" {
+		template = defaultPlainKey
+		if p.Faulted {
+			template = defaultFaultKey
+		}
+	}
+	seenKeys := make(map[string]int, len(p.Cells))
+	for i := range p.Cells {
+		cs := &p.Cells[i]
+		cs.Index = i
+		cs.Key = expandKey(template, spec, cs)
+		if prev, dup := seenKeys[cs.Key]; dup {
+			return nil, fmt.Errorf("campaign: cells %d and %d share key %q (they would share trial seeds; widen the key template or drop the colliding axis value)",
+				prev, i, cs.Key)
+		}
+		seenKeys[cs.Key] = i
+	}
+	// Engine cells carry their keys now (the cache pass needs nothing
+	// more); systems and run closures materialize lazily.
+	p.cells = make([]engine.Cell, len(p.Cells))
+	for i := range p.Cells {
+		p.cells[i].Key = p.Cells[i].Key
+	}
+	p.systems = map[sysKey]builtSys{}
+	return p, nil
+}
+
+// expandKey substitutes the cell's coordinates into a key template. In
+// plain (non-fault) cells the fault placeholders render as their empty
+// values: {adversary}/{schedule} as "none", {k}/{count} as 0.
+func expandKey(template string, spec *Spec, cs *CellSpec) string {
+	advName, schedStr, count := "none", "none", 0
+	if cs.Adversary != "" {
+		advName, schedStr, count = cs.Adversary, cs.Schedule.String(), cs.Schedule.Injections()
+	}
+	return strings.NewReplacer(
+		"{graph}", cs.Graph.Name(),
+		"{n}", strconv.Itoa(cs.Graph.N()),
+		"{protocol}", cs.Protocol,
+		"{daemon}", cs.Daemon,
+		"{adversary}", advName,
+		"{k}", strconv.Itoa(cs.K),
+		"{schedule}", schedStr,
+		"{count}", strconv.Itoa(count),
+		"{suffix}", strconv.Itoa(spec.SuffixRounds),
+	).Replace(template)
+}
+
+// buildGraph constructs one swept topology. Random families draw their
+// structure from a seed derived from the master seed and the canonical
+// graph descriptor, so a grown campaign re-builds identical graphs for
+// the lines it kept.
+func buildGraph(gs GraphSpec, n int, masterSeed uint64) (*graph.Graph, error) {
+	gseed := rng.DeriveString(masterSeed, "campaign-graph|"+gs.lineFor(n))
+	switch {
+	case gs.D > 0: // regular with explicit degree
+		return graph.RandomRegular(n, gs.D, rng.New(gseed))
+	case gs.P > 0 && gs.Family == "gnp":
+		return graph.RandomConnectedGNP(n, gs.P, rng.New(gseed)), nil
+	case gs.P > 0 && gs.Family == "rgg":
+		return graph.RandomGeometric(n, gs.P, rng.New(gseed)), nil
+	default:
+		return graph.Named(gs.Family, n, gseed)
+	}
+}
+
+// ensureSnapshots obtains the legitimate silent snapshot every at-start
+// fault cell among cells (indices into p.Cells) injects into, one
+// warm-up batch for all distinct still-missing (graph, protocol) pairs.
+// Snapshots are shared across every cell of a pair, so later calls for
+// other shards or cells of the same pair are free. Not safe for
+// concurrent use (call before launching the pool, as Run does).
+func (p *Plan) ensureSnapshots(cells []int) error {
+	type pair struct {
+		g     *graph.Graph
+		proto string
+	}
+	idx := map[pair]int{}
+	var specs []engine.ProtoCell
+	for _, i := range cells {
+		cs := &p.Cells[i]
+		if !cs.atStart() || cs.snapshot != nil {
+			continue
+		}
+		key := pair{cs.Graph, cs.Protocol}
+		if _, ok := idx[key]; !ok {
+			idx[key] = len(specs)
+			specs = append(specs, engine.ProtoCell{Graph: cs.Graph, Family: cs.Protocol})
+		}
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	snaps, err := engine.SilentSnapshots(p.cfg, specs)
+	if err != nil {
+		return fmt.Errorf("campaign: at-start snapshot warm-up: %w", err)
+	}
+	for i := range p.Cells {
+		cs := &p.Cells[i]
+		if cs.atStart() && cs.snapshot == nil {
+			if j, ok := idx[pair{cs.Graph, cs.Protocol}]; ok {
+				cs.snapshot = snaps[j]
+			}
+		}
+	}
+	return nil
+}
+
+// sysFor builds (or returns the shared) system of a cell's
+// (graph, protocol) pair; systems are immutable and shared across cells.
+func (p *Plan) sysFor(cs *CellSpec) (builtSys, error) {
+	key := sysKey{cs.Graph, cs.Protocol}
+	if b, ok := p.systems[key]; ok {
+		return b, nil
+	}
+	sys, legit, err := engine.System(cs.Graph, cs.Protocol)
+	if err != nil {
+		return builtSys{}, fmt.Errorf("campaign: %s on %s: %w", cs.Protocol, cs.GraphLine, err)
+	}
+	b := builtSys{sys: sys, legit: legit}
+	p.systems[key] = b
+	return b, nil
+}
+
+// ensureEngineCells materializes the runnable closures for the given
+// still-unbuilt cells: systems are built once per (graph, protocol)
+// pair and shared, and the per-cell runners follow exactly the
+// experiment registry's trial shapes — RunRandom for plain cells,
+// RunFaulted-from-snapshot for at-start adversaries, RunRandomFaulted
+// for mid-run schedules. Cells a fully-cached resume (or another
+// shard) never executes are never built.
+func (p *Plan) ensureEngineCells(cells []int) error {
+	for _, i := range cells {
+		if p.cells[i].RunOn != nil || p.cells[i].RunFaultOn != nil {
+			continue
+		}
+		cs := &p.Cells[i]
+		b, err := p.sysFor(cs)
+		if err != nil {
+			return err
+		}
+		sys, legit := b.sys, b.legit
+		daemon := cs.Daemon
+		mkSched := func(s uint64) model.Scheduler {
+			sc, err := sched.ByName(daemon, s)
+			if err != nil {
+				panic(err)
+			}
+			return sc
+		}
+		if !p.Faulted {
+			suffix := p.Spec.SuffixRounds
+			p.cells[i] = engine.Cell{
+				Key: cs.Key,
+				RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
+					return rn.RunRandom(sys, core.RunOptions{
+						Scheduler:    rn.Scheduler(daemon, seed, mkSched),
+						Seed:         seed,
+						MaxSteps:     p.cfg.MaxSteps,
+						CheckEvery:   1,
+						SuffixRounds: suffix,
+						Legitimate:   legit,
+					}, res)
+				},
+			}
+			continue
+		}
+		advName, k, schedule := cs.Adversary, cs.K, cs.Schedule
+		advKey := fmt.Sprintf("%s/%d", advName, k)
+		// The snapshot is read through cs at trial time: it is filled by
+		// ensureSnapshots after compilation, before the pool launches.
+		cell := cs
+		p.cells[i] = engine.Cell{
+			Key: cs.Key,
+			RunFaultOn: func(rn *core.Runner, trial int, seed uint64, res *core.FaultResult) error {
+				adv := rn.Adversary(advKey, func() fault.Adversary {
+					a, err := fault.ByName(advName, k)
+					if err != nil {
+						panic(err)
+					}
+					return a
+				})
+				opts := core.RunOptions{
+					Scheduler:  rn.Scheduler(daemon, seed, mkSched),
+					Seed:       seed,
+					MaxSteps:   p.cfg.MaxSteps,
+					CheckEvery: 1,
+					Legitimate: legit,
+				}
+				plan := fault.Plan{Adversary: adv, Schedule: schedule}
+				if cell.atStart() {
+					if cell.snapshot == nil {
+						return fmt.Errorf("campaign: cell %q run without its snapshot (ensureSnapshots not called)", cell.Key)
+					}
+					rn.InitialConfig(sys).CopyFrom(cell.snapshot)
+					return rn.RunFaulted(sys, opts, plan, res)
+				}
+				return rn.RunRandomFaulted(sys, opts, plan, res)
+			},
+		}
+	}
+	return nil
+}

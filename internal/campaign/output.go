@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// WriteJSONL streams the outcome as one JSON object per trial, in cell
+// order then trial order, with the campaign's selected metrics in
+// declaration order. Field order and number formatting are fixed, so
+// the bytes are identical across parallelism, sharding (concatenate
+// shard outputs in shard order) and cache state.
+func (o *Outcome) WriteJSONL(w io.Writer) error {
+	metrics := make([]metricDef, len(o.Plan.Spec.Metrics))
+	for i, name := range o.Plan.Spec.Metrics {
+		m, ok := metricByName(name)
+		if !ok {
+			return fmt.Errorf("campaign: unknown metric %q", name)
+		}
+		metrics[i] = m
+	}
+	bw := bufio.NewWriter(w)
+	for i := range o.Results {
+		r := &o.Results[i]
+		// json.Marshal, not strconv.Quote: Go escape syntax (\x01) is
+		// not valid JSON, and the key embeds template-provided text.
+		key, err := json.Marshal(r.Cell.Key)
+		if err != nil {
+			return err
+		}
+		for trial := range r.Records {
+			rec := &r.Records[trial]
+			fmt.Fprintf(bw, `{"cell":%d,"key":%s,"trial":%d`,
+				r.Cell.Index, key, trial)
+			for _, m := range metrics {
+				fmt.Fprintf(bw, `,%q:%s`, m.name, m.jsonValue(rec))
+			}
+			bw.WriteString("}\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// Table renders the outcome as a per-cell summary table: one row per
+// owned cell, one column per selected metric. Boolean metrics report
+// the count of true trials as "t/T"; numeric metrics report the mean
+// over trials.
+func (o *Outcome) Table() *stats.Table {
+	spec := o.Plan.Spec
+	headers := append([]string{"cell", "key"}, spec.Metrics...)
+	title := fmt.Sprintf("campaign %s: %d cells × %d trials (seed %d)",
+		spec.Name, len(o.Plan.Cells), spec.Trials, spec.Seed)
+	if len(o.Results) != len(o.Plan.Cells) {
+		title += fmt.Sprintf(", showing %d owned cells", len(o.Results))
+	}
+	t := stats.NewTable(title, headers...)
+	for i := range o.Results {
+		r := &o.Results[i]
+		row := make([]any, 0, len(headers))
+		row = append(row, r.Cell.Index, r.Cell.Key)
+		for _, name := range spec.Metrics {
+			// A hand-built Spec can carry a selector Parse would have
+			// rejected; render it as unknown rather than panicking.
+			m, ok := metricByName(name)
+			if !ok {
+				row = append(row, "?")
+				continue
+			}
+			row = append(row, aggregate(m, r.Records))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// aggregate folds one metric over a cell's trials.
+func aggregate(m metricDef, records []TrialRecord) string {
+	if m.boolVal != nil {
+		trues := 0
+		for i := range records {
+			if m.boolVal(&records[i]) {
+				trues++
+			}
+		}
+		return fmt.Sprintf("%d/%d", trues, len(records))
+	}
+	sum := 0.0
+	for i := range records {
+		sum += float64(m.intVal(&records[i]))
+	}
+	if len(records) > 0 {
+		sum /= float64(len(records))
+	}
+	return strconv.FormatFloat(sum, 'f', 2, 64)
+}

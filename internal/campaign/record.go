@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// TrialRecord is the full per-trial measurement row: every metric the
+// engine can report, independent of the campaign's output selection.
+// The cache stores complete records so that re-rendering a campaign
+// with a different `metrics` line never recomputes cells.
+type TrialRecord struct {
+	Silent             bool  `json:"silent"`
+	Legitimate         bool  `json:"legitimate"`
+	Steps              int   `json:"steps"`
+	Rounds             int   `json:"rounds"`
+	Moves              int64 `json:"moves"`
+	Selections         int64 `json:"selections"`
+	DisabledSelections int64 `json:"disabledSelections"`
+	CommWrites         int64 `json:"commWrites"`
+	KEfficiency        int   `json:"kEfficiency"`
+	CommBits           int   `json:"commBits"`
+	TotalBits          int64 `json:"totalBits"`
+	TotalReads         int64 `json:"totalReads"`
+	// Fault-campaign fields (zero in plain campaigns; MaxBallRadius is
+	// -1 when the adversary does not report a fault ball).
+	Injections        int `json:"injections"`
+	Recovered         int `json:"recovered"`
+	MaxRecoveryRounds int `json:"maxRecoveryRounds"`
+	MaxRadius         int `json:"maxRadius"`
+	MaxBallRadius     int `json:"maxBallRadius"`
+}
+
+// fillRun populates the plain-run metrics from a trial result.
+func (t *TrialRecord) fillRun(res *core.RunResult) {
+	*t = TrialRecord{
+		Silent:             res.Silent,
+		Legitimate:         res.LegitimateAtSilence,
+		Steps:              res.StepsToSilence,
+		Rounds:             res.RoundsToSilence,
+		Moves:              res.Report.Moves,
+		Selections:         res.Report.Selections,
+		DisabledSelections: res.Report.DisabledSelections,
+		CommWrites:         res.Report.CommWrites,
+		KEfficiency:        res.Report.KEfficiency,
+		CommBits:           res.Report.CommComplexityBits,
+		TotalBits:          res.Report.TotalBits,
+		TotalReads:         res.Report.TotalReads,
+		MaxBallRadius:      -1,
+	}
+}
+
+// fillFault populates all metrics from an injected trial result.
+func (t *TrialRecord) fillFault(res *core.FaultResult) {
+	t.fillRun(&res.RunResult)
+	t.Injections = res.Injections
+	t.Recovered = res.Recovered
+	t.MaxRecoveryRounds = res.MaxRecoveryRounds()
+	t.MaxRadius = res.MaxRadius()
+	for i := range res.Episodes {
+		if res.Episodes[i].BallRadius > t.MaxBallRadius {
+			t.MaxBallRadius = res.Episodes[i].BallRadius
+		}
+	}
+}
+
+// metricDef maps a `metrics` selector name to its extraction from a
+// TrialRecord: either a boolean (aggregated as a true/trials count) or
+// an integer (aggregated as a mean).
+type metricDef struct {
+	name      string
+	faultOnly bool
+	boolVal   func(*TrialRecord) bool
+	intVal    func(*TrialRecord) int64
+}
+
+// metricDefs lists every selector, in the canonical order used by
+// documentation; the `metrics` line controls the emission order.
+var metricDefs = []metricDef{
+	{name: "silent", boolVal: func(t *TrialRecord) bool { return t.Silent }},
+	{name: "legitimate", boolVal: func(t *TrialRecord) bool { return t.Legitimate }},
+	{name: "steps", intVal: func(t *TrialRecord) int64 { return int64(t.Steps) }},
+	{name: "rounds", intVal: func(t *TrialRecord) int64 { return int64(t.Rounds) }},
+	{name: "moves", intVal: func(t *TrialRecord) int64 { return t.Moves }},
+	{name: "selections", intVal: func(t *TrialRecord) int64 { return t.Selections }},
+	{name: "disabled-selections", intVal: func(t *TrialRecord) int64 { return t.DisabledSelections }},
+	{name: "comm-writes", intVal: func(t *TrialRecord) int64 { return t.CommWrites }},
+	{name: "k-efficiency", intVal: func(t *TrialRecord) int64 { return int64(t.KEfficiency) }},
+	{name: "comm-bits", intVal: func(t *TrialRecord) int64 { return int64(t.CommBits) }},
+	{name: "total-bits", intVal: func(t *TrialRecord) int64 { return t.TotalBits }},
+	{name: "total-reads", intVal: func(t *TrialRecord) int64 { return t.TotalReads }},
+	{name: "injections", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.Injections) }},
+	{name: "recovered", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.Recovered) }},
+	{name: "max-recovery-rounds", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.MaxRecoveryRounds) }},
+	{name: "max-radius", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.MaxRadius) }},
+	{name: "max-ball-radius", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.MaxBallRadius) }},
+}
+
+func metricByName(name string) (metricDef, bool) {
+	for _, m := range metricDefs {
+		if m.name == name {
+			return m, true
+		}
+	}
+	return metricDef{}, false
+}
+
+// MetricNames lists every `metrics` selector in canonical order.
+func MetricNames() []string {
+	out := make([]string, len(metricDefs))
+	for i, m := range metricDefs {
+		out[i] = m.name
+	}
+	return out
+}
+
+// jsonValue renders the metric's value of t as a JSON literal.
+func (m metricDef) jsonValue(t *TrialRecord) string {
+	if m.boolVal != nil {
+		return strconv.FormatBool(m.boolVal(t))
+	}
+	return strconv.FormatInt(m.intVal(t), 10)
+}
+
+// defaultMetrics is the selection used when a campaign has no `metrics`
+// line; fault campaigns additionally get the episode metrics.
+func defaultMetrics(faulted bool) []string {
+	base := []string{"silent", "legitimate", "steps", "rounds", "moves", "total-bits"}
+	if faulted {
+		base = append(base, "injections", "recovered", "max-recovery-rounds", "max-radius")
+	}
+	return base
+}

@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// RunOptions configures one execution of a compiled plan.
+type RunOptions struct {
+	// Shard/Shards selects a K-of-N slice of the campaign: shard i of n
+	// owns the contiguous cell-index range [i*C/n, (i+1)*C/n). Shards
+	// <= 1 runs everything. The partition is a pure function of the
+	// cell order, so separate processes (or machines) given distinct
+	// shards compute disjoint cells, and concatenating their outputs in
+	// shard order reproduces the unsharded output byte for byte.
+	Shard, Shards int
+	// CacheDir enables the content-addressed result cache: completed
+	// cells persist as one file per cell fingerprint, and a re-run (or
+	// a grown campaign sharing cells) recomputes only what is missing.
+	// Empty disables caching.
+	CacheDir string
+}
+
+// CellResult pairs one owned cell with its per-trial records.
+type CellResult struct {
+	Cell *CellSpec
+	// Records holds one entry per trial, in trial order.
+	Records []TrialRecord
+	// FromCache reports whether the records were loaded rather than
+	// computed.
+	FromCache bool
+}
+
+// Outcome is the result of running a plan: the owned cells' records in
+// deterministic cell order, plus cache statistics.
+type Outcome struct {
+	Plan *Plan
+	// Results covers exactly the owned shard, ordered by cell index.
+	Results []CellResult
+	// CacheHits/CacheMisses count owned cells served from / written to
+	// the cache (both zero when caching is disabled).
+	CacheHits, CacheMisses int
+}
+
+// Run executes the plan's owned shard on the engine pool, consulting
+// the cache first when enabled. Records are deterministic: for a fixed
+// campaign file the bytes of every record are identical across
+// parallelism, sharding and cache state.
+func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
+	lo, hi, err := shardRange(len(p.Cells), opts.Shard, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Plan: p, Results: make([]CellResult, hi-lo)}
+
+	// Cache pass: fill what's already known, collect the rest.
+	var missing []int // owned-relative indices
+	for i := range out.Results {
+		cs := &p.Cells[lo+i]
+		out.Results[i].Cell = cs
+		if opts.CacheDir != "" {
+			if recs := loadCache(opts.CacheDir, p.cellFingerprint(cs), p.cfg.Trials); recs != nil {
+				out.Results[i].Records = recs
+				out.Results[i].FromCache = true
+				out.CacheHits++
+				continue
+			}
+		}
+		out.Results[i].Records = make([]TrialRecord, 0, p.cfg.Trials)
+		missing = append(missing, i)
+	}
+
+	// Compute pass: the missing cells run as a sub-slice of the engine
+	// cell list. Sub-setting never perturbs results — each cell's trial
+	// seeds derive from its key alone — and the fold appends records in
+	// trial order per cell (the engine's ordering contract). Snapshot
+	// warm-ups and system construction happen here, for exactly the
+	// cells about to execute: a fully-cached resume, and shards owning
+	// none of a cell, never pay for it.
+	if len(missing) > 0 {
+		abs := make([]int, len(missing))
+		for j, i := range missing {
+			abs[j] = lo + i
+		}
+		if err := p.materialize(abs); err != nil {
+			return nil, err
+		}
+		cells := make([]engine.Cell, len(missing))
+		for j, i := range missing {
+			cells[j] = p.cells[lo+i]
+		}
+		if p.Faulted {
+			err = engine.RunFaultCellsReduce(p.cfg, cells, func(cell, trial int, res *core.FaultResult) error {
+				var rec TrialRecord
+				rec.fillFault(res)
+				r := &out.Results[missing[cell]]
+				r.Records = append(r.Records, rec)
+				return nil
+			})
+		} else {
+			err = engine.RunCellsReduce(p.cfg, cells, func(cell, trial int, res *core.RunResult) error {
+				var rec TrialRecord
+				rec.fillRun(res)
+				r := &out.Results[missing[cell]]
+				r.Records = append(r.Records, rec)
+				return nil
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		if opts.CacheDir != "" {
+			for _, i := range missing {
+				cs := out.Results[i].Cell
+				if err := storeCache(opts.CacheDir, p.cellFingerprint(cs), out.Results[i].Records); err != nil {
+					return nil, err
+				}
+			}
+			out.CacheMisses = len(missing)
+		}
+	}
+	return out, nil
+}
+
+// shardRange returns the owned [lo, hi) cell-index range. Shards are
+// capped at maxCells (more shards than cells could ever exist is a
+// driver bug) which also keeps shard*n within int64 on every platform.
+func shardRange(n, shard, shards int) (int, int, error) {
+	if shards <= 1 {
+		if shard != 0 {
+			return 0, 0, fmt.Errorf("campaign: shard %d/%d out of range", shard, shards)
+		}
+		return 0, n, nil
+	}
+	if shards > maxCells {
+		return 0, 0, fmt.Errorf("campaign: %d shards exceed the %d-cell limit", shards, maxCells)
+	}
+	if shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("campaign: shard %d/%d out of range (want 0 <= shard < shards)", shard, shards)
+	}
+	lo := int(int64(shard) * int64(n) / int64(shards))
+	hi := int(int64(shard+1) * int64(n) / int64(shards))
+	return lo, hi, nil
+}

@@ -1,0 +1,271 @@
+// Package engine is the parallel sharded trial engine shared by the
+// experiment registry (internal/experiment) and the campaign subsystem
+// (internal/campaign). Every cell — one protocol family on one graph
+// under one scheduler, optionally with a fault adversary — expands into
+// Config.Trials independent trial jobs that a worker pool executes
+// across Config.Parallelism goroutines. Each worker owns one reusable
+// *core.Runner (recorder, simulator, scheduler, configuration buffers),
+// so the steady-state trial loop allocates nothing; results are either
+// materialized per trial (RunCells) or streamed through a fold without
+// being retained (RunCellsReduce, RunFaultCellsReduce).
+//
+// Determinism: the seed of trial t of a cell is
+//
+//	rng.Derive(rng.DeriveString(Config.Seed, cell.Key), t)
+//
+// a pure function of the master seed, the cell key and the trial index.
+// No seed depends on scheduling order, and results land in a
+// position-indexed matrix (or fold in trial order per cell), so the
+// output is byte-identical for every Parallelism value (1 reproduces
+// fully sequential execution) and identical between the pooled and
+// one-shot execution paths.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Config scales a trial run.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Trials is the number of adversarial initial configurations per
+	// cell (default 5).
+	Trials int
+	// MaxSteps is the per-run step budget (default 1_000_000).
+	MaxSteps int
+	// Parallelism is the number of worker goroutines the trial pool uses
+	// (default runtime.GOMAXPROCS(0)). Results are identical for every
+	// value; see the package documentation.
+	Parallelism int
+}
+
+// WithDefaults fills unset fields with the engine defaults.
+func (c Config) WithDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 5
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 1_000_000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Cell is one unit of the experiment grid: a stable key used for seed
+// derivation plus the function executing one adversarial trial. Exactly
+// one of Run, RunOn and RunFaultOn must be non-nil; all must be safe for
+// concurrent invocation across trials (systems and graphs are immutable
+// after construction).
+type Cell struct {
+	// Key identifies the cell in the experiment grid; distinct cells of
+	// one RunCells call must use distinct keys or they will share trial
+	// seeds.
+	Key string
+	// Run executes trial `trial` with the derived seed, materializing a
+	// fresh result.
+	Run func(trial int, seed uint64) (*core.RunResult, error)
+	// RunOn executes the trial on the calling worker's reusable Runner,
+	// filling res in place. It is the allocation-free form: the pool
+	// passes a fresh res when results are retained (RunCells) and a
+	// reused buffer when they are folded away (RunCellsReduce).
+	RunOn func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error
+	// RunFaultOn executes the trial as an injected (adversarial-fault)
+	// trial, filling a FaultResult in place. Cells of this form run only
+	// under RunFaultCellsReduce.
+	RunFaultOn func(rn *core.Runner, trial int, seed uint64, res *core.FaultResult) error
+}
+
+// runTrial executes one trial of c, materializing into reuse when
+// non-nil (RunOn cells only; legacy Run cells always allocate).
+func (c *Cell) runTrial(rn *core.Runner, trial int, seed uint64, reuse *core.RunResult) (*core.RunResult, error) {
+	if c.RunOn != nil {
+		res := reuse
+		if res == nil {
+			res = &core.RunResult{}
+		}
+		if err := c.RunOn(rn, trial, seed, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	return c.Run(trial, seed)
+}
+
+func cellSeedsFor(cfg Config, cells []Cell) []uint64 {
+	seeds := make([]uint64, len(cells))
+	for i, c := range cells {
+		seeds[i] = rng.DeriveString(cfg.Seed, c.Key)
+	}
+	return seeds
+}
+
+// RunCells executes cfg.Trials trials of every cell on the worker pool
+// and returns the results indexed [cell][trial]. Jobs are ordered
+// cell-major, so a worker's consecutive jobs usually share a cell and its
+// Runner stays bound to one system.
+func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
+	cfg = cfg.WithDefaults()
+	out := make([][]*core.RunResult, len(cells))
+	for i := range out {
+		out[i] = make([]*core.RunResult, cfg.Trials)
+	}
+	cellSeeds := cellSeedsFor(cfg, cells)
+	err := forEachCtx(cfg.Parallelism, len(cells)*cfg.Trials, core.NewRunner, func(rn *core.Runner, j int) error {
+		cell, trial := j/cfg.Trials, j%cfg.Trials
+		res, err := cells[cell].runTrial(rn, trial, rng.Derive(cellSeeds[cell], uint64(trial)), nil)
+		if err != nil {
+			return fmt.Errorf("cell %q trial %d: %w", cells[cell].Key, trial, err)
+		}
+		out[cell][trial] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunCellsReduce executes cfg.Trials trials of every cell and streams
+// every result through fold instead of materializing the grid: memory
+// stays O(cells + workers) instead of O(cells × trials × n).
+//
+// Scheduling is cell-affine — one worker owns all trials of a cell,
+// running them in trial order on its reusable Runner with exactly the
+// trial seeds of RunCells — so fold(cell, trial, res) is invoked in
+// increasing trial order within each cell and aggregation is
+// deterministic at every Parallelism. fold runs concurrently for
+// DIFFERENT cells (never for the same cell): per-cell accumulators
+// indexed by cell need no locking, anything shared across cells does.
+// res is a worker-owned buffer valid only for the duration of the call;
+// fold must copy whatever needs to survive.
+//
+// Cell affinity means effective parallelism is bounded by len(cells)
+// (the registry's grids have tens of cells, comfortably above typical
+// core counts). A grid of few cells with very many trials parallelizes
+// at the trial level only under RunCells — prefer it there and pay the
+// materialization.
+func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.RunResult) error) error {
+	cfg = cfg.WithDefaults()
+	cellSeeds := cellSeedsFor(cfg, cells)
+	type wctx struct {
+		rn  *core.Runner
+		res core.RunResult
+	}
+	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
+		func(w *wctx, i int) error {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				res, err := cells[i].runTrial(w.rn, trial, rng.Derive(cellSeeds[i], uint64(trial)), &w.res)
+				if err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+				if err := fold(i, trial, res); err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+			}
+			return nil
+		})
+}
+
+// RunFaultCellsReduce is RunCellsReduce for injected trials: every cell
+// must set RunFaultOn, and every result — the final run outcome plus the
+// per-injection recovery episodes — streams through fold. Scheduling,
+// trial seeds, cell affinity and the fold's ordering/concurrency
+// contract are exactly RunCellsReduce's; res (including res.Episodes) is
+// a worker-owned buffer valid only for the duration of the call.
+func RunFaultCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.FaultResult) error) error {
+	cfg = cfg.WithDefaults()
+	cellSeeds := cellSeedsFor(cfg, cells)
+	type wctx struct {
+		rn  *core.Runner
+		res core.FaultResult
+	}
+	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
+		func(w *wctx, i int) error {
+			if cells[i].RunFaultOn == nil {
+				return fmt.Errorf("cell %q has no RunFaultOn", cells[i].Key)
+			}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := rng.Derive(cellSeeds[i], uint64(trial))
+				if err := cells[i].RunFaultOn(w.rn, trial, seed, &w.res); err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+				if err := fold(i, trial, &w.res); err != nil {
+					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
+				}
+			}
+			return nil
+		})
+}
+
+// ForEach runs fn(0..n-1) on up to `workers` goroutines (<=0 selects
+// GOMAXPROCS). After the first error, idle workers stop picking up new
+// jobs; in-flight jobs run to completion. Among the errors observed, the
+// one with the lowest job index is returned.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return forEachCtx(workers, n, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return fn(i) })
+}
+
+// forEachCtx is ForEach with a lazily-built per-worker context: every
+// worker goroutine calls newCtx once and passes the context to each job
+// it executes, giving jobs worker-affine reusable state (the trial
+// engine's *core.Runner) without synchronization.
+func forEachCtx[T any](workers, n int, newCtx func() T, fn func(ctx T, i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		ctx := newCtx()
+		for i := 0; i < n; i++ {
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ctx := newCtx()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFamiliesRegistry(t *testing.T) {
+	t.Parallel()
+	fams := Families()
+	for _, want := range []string{
+		FamColoring, FamColoringBaseline, FamMIS, FamMISBaseline,
+		FamMatching, FamMatchingBaseline, FamBFSTree, FamFrozen,
+	} {
+		found := false
+		for _, f := range fams {
+			if f == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Families() missing %q: %v", want, fams)
+		}
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1] >= fams[i] {
+			t.Fatalf("Families() not sorted: %v", fams)
+		}
+	}
+}
+
+func TestSystemBuildsEveryFamily(t *testing.T) {
+	t.Parallel()
+	g := graph.Cycle(5)
+	for _, fam := range Families() {
+		sys, legit, err := System(g, fam)
+		if err != nil {
+			t.Fatalf("System(%s): %v", fam, err)
+		}
+		if sys == nil || legit == nil {
+			t.Fatalf("System(%s): nil system or legitimacy", fam)
+		}
+	}
+	if _, _, err := System(g, "teleport"); err == nil || !strings.Contains(err.Error(), "unknown protocol family") {
+		t.Fatalf("unknown family accepted: %v", err)
+	}
+}
+
+func TestSilentSnapshotsMatchProtoKeys(t *testing.T) {
+	t.Parallel()
+	g := graph.Path(6)
+	cfg := Config{Seed: 2009, Trials: 3, MaxSteps: 100_000, Parallelism: 1}
+	specs := []ProtoCell{{Graph: g, Family: FamColoring}, {Graph: g, Family: FamMIS}}
+	snaps, err := SilentSnapshots(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0] == nil || snaps[1] == nil {
+		t.Fatalf("snapshots missing: %v", snaps)
+	}
+	// Batching must not matter: a per-spec call sees the same snapshot,
+	// because trial seeds derive from the cell key alone.
+	solo, err := SilentSnapshots(cfg, specs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snaps[0].Equal(solo[0]) {
+		t.Fatal("snapshot depends on warm-up batching; seed derivation broken")
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocols/bfstree"
+	"repro/internal/protocols/coloring"
+	"repro/internal/protocols/frozen"
+	"repro/internal/protocols/matching"
+	"repro/internal/protocols/mis"
+)
+
+// Protocol family names used across experiments and campaigns.
+const (
+	FamColoring         = "coloring"
+	FamColoringBaseline = "coloring-baseline"
+	FamMIS              = "mis"
+	FamMISBaseline      = "mis-baseline"
+	FamMatching         = "matching"
+	FamMatchingBaseline = "matching-baseline"
+	// FamBFSTree is the classical full-read BFS spanning tree rooted at
+	// process 0 — the local-checking paradigm the paper improves on.
+	FamBFSTree = "bfstree"
+	// FamFrozen is the deliberately ♦-1-stable (and therefore broken)
+	// frozen coloring of Theorems 1/2: it freezes into silence but the
+	// silent configuration need not be a proper coloring, so campaigns
+	// over it observe silent-but-illegitimate outcomes.
+	FamFrozen = "frozen"
+)
+
+// Legitimacy is a protocol-specific legitimacy predicate evaluated on a
+// silent configuration.
+type Legitimacy func(*model.System, *model.Config) bool
+
+// Builder instantiates a protocol family on a graph, returning the
+// system and its legitimacy predicate.
+type Builder func(*graph.Graph) (*model.System, Legitimacy, error)
+
+var builders = map[string]Builder{}
+
+func init() {
+	builders[FamColoring] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		sys, err := model.NewSystem(g, coloring.Spec(), nil)
+		return sys, coloring.IsLegitimate, err
+	}
+	builders[FamColoringBaseline] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		sys, err := model.NewSystem(g, coloring.BaselineSpec(), nil)
+		return sys, coloring.IsLegitimate, err
+	}
+	builders[FamMIS] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		colors := graph.GreedyLocalColoring(g)
+		sys, err := mis.NewSystem(g, mis.Spec(g.MaxDegree()+1), colors)
+		return sys, mis.IsLegitimate, err
+	}
+	builders[FamMISBaseline] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		colors := graph.GreedyLocalColoring(g)
+		sys, err := mis.NewSystem(g, mis.BaselineSpec(g.MaxDegree()+1), colors)
+		return sys, mis.IsLegitimate, err
+	}
+	builders[FamMatching] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		colors := graph.GreedyLocalColoring(g)
+		sys, err := matching.NewSystem(g, matching.Spec(g.MaxDegree()+1), colors)
+		return sys, matching.IsLegitimate, err
+	}
+	builders[FamMatchingBaseline] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		colors := graph.GreedyLocalColoring(g)
+		sys, err := matching.NewSystem(g, matching.BaselineSpec(g.MaxDegree()+1), colors)
+		// The baseline's silent configurations satisfy the maximal
+		// matching predicate on matched edges; its M/PR flag discipline
+		// differs from Figure 10, so legitimacy is the graph predicate.
+		return sys, matching.IsMaximalMatching, err
+	}
+	builders[FamBFSTree] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		sys, err := bfstree.NewSystem(g, bfstree.Spec(), 0)
+		return sys, bfstree.IsLegitimate, err
+	}
+	builders[FamFrozen] = func(g *graph.Graph) (*model.System, Legitimacy, error) {
+		sys, err := model.NewSystem(g, frozen.ColoringSpec(), nil)
+		return sys, coloring.IsLegitimate, err
+	}
+}
+
+// System builds a System for a named protocol family on g, returning it
+// with the family's legitimacy predicate.
+func System(g *graph.Graph, family string) (*model.System, Legitimacy, error) {
+	b := builders[family]
+	if b == nil {
+		return nil, nil, fmt.Errorf("engine: unknown protocol family %q (known: %v)", family, Families())
+	}
+	return b(g)
+}
+
+// Families lists the registered protocol family names, sorted.
+func Families() []string {
+	var names []string
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

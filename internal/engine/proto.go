@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// DefaultSchedName names the scheduler used when a cell does not choose
+// one: the paper's distributed fair scheduler.
+const DefaultSchedName = "random-subset"
+
+// DefaultSched builds the default scheduler from a trial seed.
+func DefaultSched(seed uint64) model.Scheduler { return sched.NewRandomSubset(seed) }
+
+// ProtoCell describes a (graph, protocol family, scheduler) cell for
+// RunProtoCells.
+type ProtoCell struct {
+	Graph  *graph.Graph
+	Family string
+	// Sched builds the trial's scheduler from the trial seed (nil →
+	// DefaultSched). SchedName must name it when Sched is non-nil, so the
+	// cell key stays stable (and the per-worker scheduler cache keyed by
+	// it stays sound).
+	Sched     func(uint64) model.Scheduler
+	SchedName string
+	// SuffixRounds keeps the run going after silence (see core.RunOptions).
+	SuffixRounds int
+}
+
+// ProtoCells expands specs into runner-aware pool cells, building each
+// cell's system once. The cell key is "graph|family|scheduler|suffix" —
+// the canonical proto-cell key every seed stream of the registry and the
+// campaign subsystem derives from.
+func ProtoCells(cfg Config, specs []ProtoCell) ([]Cell, error) {
+	cells := make([]Cell, len(specs))
+	for i, sp := range specs {
+		sys, legit, err := System(sp.Graph, sp.Family)
+		if err != nil {
+			return nil, err
+		}
+		mkSched, schedName := sp.Sched, sp.SchedName
+		if mkSched == nil {
+			mkSched, schedName = DefaultSched, DefaultSchedName
+		}
+		suffix := sp.SuffixRounds
+		cells[i] = Cell{
+			Key: fmt.Sprintf("%s|%s|%s|%d", sp.Graph.Name(), sp.Family, schedName, suffix),
+			RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
+				return rn.RunRandom(sys, core.RunOptions{
+					Scheduler:    rn.Scheduler(schedName, seed, mkSched),
+					Seed:         seed,
+					MaxSteps:     cfg.MaxSteps,
+					CheckEvery:   1,
+					SuffixRounds: suffix,
+					Legitimate:   legit,
+				}, res)
+			},
+		}
+	}
+	return cells, nil
+}
+
+// RunProtoCells builds each cell's system once and fans all trials out
+// across the pool: the workhorse behind the per-graph loops of E1-E15.
+func RunProtoCells(cfg Config, specs []ProtoCell) ([][]*core.RunResult, error) {
+	cfg = cfg.WithDefaults()
+	cells, err := ProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	return RunCells(cfg, cells)
+}
+
+// RunProtoCellsReduce is the streaming form of RunProtoCells: every trial
+// result is folded (see RunCellsReduce for the ordering and concurrency
+// contract) instead of materialized, which is how the aggregate-only
+// experiments keep their memory independent of Trials.
+func RunProtoCellsReduce(cfg Config, specs []ProtoCell, fold func(cell, trial int, res *core.RunResult) error) error {
+	cfg = cfg.WithDefaults()
+	cells, err := ProtoCells(cfg, specs)
+	if err != nil {
+		return err
+	}
+	return RunCellsReduce(cfg, cells, fold)
+}
+
+// SilentSnapshots obtains one legitimate silent configuration per spec
+// by running the standard adversarial trials of every proto cell —
+// batched into a single pool launch, so the warm-up convergence runs
+// execute concurrently — and returning each spec's first silent
+// legitimate final configuration. The trial seeds derive from the cell
+// keys alone, so every caller that starts from a snapshot of the same
+// (graph, family) sees the same configuration regardless of how the
+// warm-ups are batched.
+func SilentSnapshots(cfg Config, specs []ProtoCell) ([]*model.Config, error) {
+	res, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*model.Config, len(specs))
+	for i, sp := range specs {
+		for _, r := range res[i] {
+			if r.Silent && r.LegitimateAtSilence {
+				out[i] = r.Final
+				break
+			}
+		}
+		if out[i] == nil {
+			return nil, fmt.Errorf("engine: %s produced no legitimate silent run on %s", sp.Family, sp.Graph.Name())
+		}
+	}
+	return out, nil
+}

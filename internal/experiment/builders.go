@@ -1,53 +1,15 @@
 package experiment
 
-import (
-	"repro/internal/graph"
-	"repro/internal/model"
-	"repro/internal/protocols/coloring"
-	"repro/internal/protocols/matching"
-	"repro/internal/protocols/mis"
-)
+import "repro/internal/engine"
 
-// Protocol family names used across experiments.
+// Protocol family names used across experiments. The registry itself
+// lives in internal/engine (shared with the campaign subsystem); these
+// aliases keep the experiment code reading as before.
 const (
-	FamColoring         = "coloring"
-	FamColoringBaseline = "coloring-baseline"
-	FamMIS              = "mis"
-	FamMISBaseline      = "mis-baseline"
-	FamMatching         = "matching"
-	FamMatchingBaseline = "matching-baseline"
+	FamColoring         = engine.FamColoring
+	FamColoringBaseline = engine.FamColoringBaseline
+	FamMIS              = engine.FamMIS
+	FamMISBaseline      = engine.FamMISBaseline
+	FamMatching         = engine.FamMatching
+	FamMatchingBaseline = engine.FamMatchingBaseline
 )
-
-func init() {
-	builders[FamColoring] = func(g *graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error) {
-		sys, err := model.NewSystem(g, coloring.Spec(), nil)
-		return sys, coloring.IsLegitimate, err
-	}
-	builders[FamColoringBaseline] = func(g *graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error) {
-		sys, err := model.NewSystem(g, coloring.BaselineSpec(), nil)
-		return sys, coloring.IsLegitimate, err
-	}
-	builders[FamMIS] = func(g *graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error) {
-		colors := graph.GreedyLocalColoring(g)
-		sys, err := mis.NewSystem(g, mis.Spec(g.MaxDegree()+1), colors)
-		return sys, mis.IsLegitimate, err
-	}
-	builders[FamMISBaseline] = func(g *graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error) {
-		colors := graph.GreedyLocalColoring(g)
-		sys, err := mis.NewSystem(g, mis.BaselineSpec(g.MaxDegree()+1), colors)
-		return sys, mis.IsLegitimate, err
-	}
-	builders[FamMatching] = func(g *graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error) {
-		colors := graph.GreedyLocalColoring(g)
-		sys, err := matching.NewSystem(g, matching.Spec(g.MaxDegree()+1), colors)
-		return sys, matching.IsLegitimate, err
-	}
-	builders[FamMatchingBaseline] = func(g *graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error) {
-		colors := graph.GreedyLocalColoring(g)
-		sys, err := matching.NewSystem(g, matching.BaselineSpec(g.MaxDegree()+1), colors)
-		// The baseline's silent configurations satisfy the maximal
-		// matching predicate on matched edges; its M/PR flag discipline
-		// differs from Figure 10, so legitimacy is the graph predicate.
-		return sys, matching.IsMaximalMatching, err
-	}
-}

@@ -2,8 +2,12 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/model"
@@ -29,23 +33,7 @@ func silentSnapshots(cfg Config, g *graph.Graph, families []string) ([]*model.Co
 	for i, family := range families {
 		specs[i] = ProtoCell{Graph: g, Family: family}
 	}
-	res, err := RunProtoCells(cfg, specs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*model.Config, len(families))
-	for i, family := range families {
-		for _, r := range res[i] {
-			if r.Silent && r.LegitimateAtSilence {
-				out[i] = r.Final
-				break
-			}
-		}
-		if out[i] == nil {
-			return nil, fmt.Errorf("experiment: %s produced no legitimate silent run", family)
-		}
-	}
-	return out, nil
+	return engine.SilentSnapshots(cfg.engineConfig(), specs)
 }
 
 // snapshotFaultCell builds the standard injected-trial cell: per trial,
@@ -191,6 +179,56 @@ func CustomFault(cfg Config, advName string, k int, schedule fault.Schedule) (*R
 	}, nil
 }
 
+// midSuiteGraphLine reconstructs the campaign `graph` directive for the
+// mid-suite topology at suite index len/div — the graphs the adversary
+// experiments historically pinned. compileCampaign verifies the
+// reconstruction against the live suite, so a future suite change
+// surfaces as a hard error here instead of a silent drift.
+func midSuiteGraphLine(cfg Config, div int) string {
+	if cfg.Quick {
+		if div == 2 {
+			return "star 8"
+		}
+		return "cycle 9"
+	}
+	if div == 2 {
+		return "caterpillar 15"
+	}
+	return "grid 16"
+}
+
+// compileCampaign parses and compiles a campaign source written by a
+// rewired registry experiment, checking that the compiled cells run on
+// the intended suite graph.
+func compileCampaign(cfg Config, src string, want *graph.Graph) (*campaign.Plan, error) {
+	spec, err := campaign.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: campaign spec: %w", err)
+	}
+	plan, err := campaign.Compile(spec, cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	if want != nil && len(plan.Cells) > 0 {
+		got := plan.Cells[0].Graph
+		if got.Name() != want.Name() || got.N() != want.N() {
+			return nil, fmt.Errorf("experiment: campaign graph %s (n=%d) does not match suite graph %s (n=%d): update midSuiteGraphLine",
+				got.Name(), got.N(), want.Name(), want.N())
+		}
+	}
+	return plan, nil
+}
+
+// ksCSV renders a fault-size list as the k= argument of an `adversary`
+// directive.
+func ksCSV(ks []int) string {
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = strconv.Itoa(k)
+	}
+	return strings.Join(parts, ",")
+}
+
 // E16AdversaryGrid sweeps the fault-shape axis: every adversary shape ×
 // fault size × protocol family, injected into a legitimate silent
 // configuration. Self-stabilization promises recovery from arbitrary
@@ -198,6 +236,11 @@ func CustomFault(cfg Config, advName string, k int, schedule fault.Schedule) (*R
 // — so comm-register glitches, crash-reboots and clustered corruption
 // must all be absorbed, and the containment radius reports how far each
 // shape's corrections propagate.
+//
+// The grid is expressed as a campaign spec (internal/campaign): the
+// DSL's key template pins the experiment's historical cell keys, so the
+// trial seed streams — and the golden table — are byte-identical to the
+// pre-campaign definition.
 func E16AdversaryGrid(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	graphs, err := suite(cfg)
@@ -205,40 +248,33 @@ func E16AdversaryGrid(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	g := graphs[len(graphs)/4]
-	families := []string{FamColoring, FamMIS, FamMatching}
 	n := g.N()
 	ks := []int{1, max(1, n/4), max(1, n/2)}
-
-	type gridCell struct {
-		family, adv string
-		k           int
+	var advLines strings.Builder
+	for _, advName := range fault.Names() {
+		fmt.Fprintf(&advLines, "adversary %s k=%s inject=at-start\n", advName, ksCSV(ks))
 	}
-	snapshots, err := silentSnapshots(cfg, g, families)
+	plan, err := compileCampaign(cfg, fmt.Sprintf(`campaign e16-adversary-grid
+seed %d
+trials %d
+max-steps %d
+key {graph}|{protocol}|adv={adversary}|k={k}
+graph %s
+protocol coloring mis matching
+%s`, cfg.Seed, cfg.Trials, cfg.MaxSteps, midSuiteGraphLine(cfg, 4), advLines.String()), g)
 	if err != nil {
 		return nil, err
-	}
-	var grid []gridCell
-	var cells []Cell
-	for fi, family := range families {
-		sys, legit, err := protocolSystem(g, family)
-		if err != nil {
-			return nil, err
-		}
-		for _, advName := range fault.Names() {
-			for _, k := range ks {
-				grid = append(grid, gridCell{family: family, adv: advName, k: k})
-				cells = append(cells, snapshotFaultCell(cfg,
-					fmt.Sprintf("%s|%s|adv=%s|k=%d", g.Name(), family, advName, k),
-					sys, legit, snapshots[fi], advName, k))
-			}
-		}
 	}
 	type acc struct {
 		recovered, maxRounds, maxRadius int
 		rounds                          []float64
 	}
-	accs := make([]acc, len(grid))
-	err = RunFaultCellsReduce(cfg, cells, func(cell, _ int, res *core.FaultResult) error {
+	cells, err := plan.EngineCells()
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]acc, len(plan.Cells))
+	err = engine.RunFaultCellsReduce(plan.EngineConfig(), cells, func(cell, _ int, res *core.FaultResult) error {
 		a := &accs[cell]
 		if res.Silent && res.LegitimateAtSilence {
 			a.recovered++
@@ -258,11 +294,11 @@ func E16AdversaryGrid(cfg Config) (*Result, error) {
 	table := stats.NewTable("E16: recovery per adversary shape (fault-model grid)",
 		"protocol", "adversary", "faults", "recovered", "mean rounds", "max rounds", "max radius")
 	pass := true
-	for i, gc := range grid {
-		a := &accs[i]
+	for i := range plan.Cells {
+		cs, a := &plan.Cells[i], &accs[i]
 		ok := a.recovered == cfg.Trials
 		pass = pass && ok
-		table.AddRow(gc.family, gc.adv, gc.k,
+		table.AddRow(cs.Protocol, cs.Adversary, cs.K,
 			fmt.Sprintf("%d/%d", a.recovered, cfg.Trials),
 			stats.Summarize(a.rounds).Mean, a.maxRounds, a.maxRadius)
 	}
@@ -290,38 +326,27 @@ func E17RepeatedInjection(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	g := graphs[len(graphs)/2]
-	sys, legit, err := protocolSystem(g, FamMIS)
+	sys, _, err := protocolSystem(g, FamMIS)
 	if err != nil {
 		return nil, err
 	}
 	bound := mis.RoundBound(sys)
 	k := max(1, g.N()/4)
 	const episodes = 4
-	advKey := fmt.Sprintf("uniform/%d", k)
 
 	names := sched.Names()
-	cells := make([]Cell, len(names))
-	for i, name := range names {
-		name := name
-		cells[i] = Cell{
-			Key: fmt.Sprintf("%s|%s|daemon=%s|repeat=%d|k=%d", g.Name(), FamMIS, name, episodes, k),
-			RunFaultOn: func(rn *core.Runner, trial int, seed uint64, res *core.FaultResult) error {
-				adv := rn.Adversary(advKey, func() fault.Adversary { return fault.NewUniform(k) })
-				return rn.RunRandomFaulted(sys, core.RunOptions{
-					Scheduler: rn.Scheduler(name, seed, func(s uint64) model.Scheduler {
-						sc, err := sched.ByName(name, s)
-						if err != nil {
-							panic(err)
-						}
-						return sc
-					}),
-					Seed:       seed,
-					MaxSteps:   cfg.MaxSteps,
-					CheckEvery: 1,
-					Legitimate: legit,
-				}, fault.Plan{Adversary: adv, Schedule: fault.OnSilence(episodes)}, res)
-			},
-		}
+	plan, err := compileCampaign(cfg, fmt.Sprintf(`campaign e17-repeated-injection
+seed %d
+trials %d
+max-steps %d
+key {graph}|{protocol}|daemon={daemon}|repeat={count}|k={k}
+graph %s
+protocol mis
+daemon %s
+adversary uniform k=%d inject=on-silence:%d
+`, cfg.Seed, cfg.Trials, cfg.MaxSteps, midSuiteGraphLine(cfg, 2), strings.Join(names, " "), k, episodes), g)
+	if err != nil {
+		return nil, err
 	}
 	type acc struct {
 		trials, allRecovered           int
@@ -329,8 +354,12 @@ func E17RepeatedInjection(cfg Config) (*Result, error) {
 		maxRounds, maxRadius           int
 		rounds                         []float64
 	}
+	cells, err := plan.EngineCells()
+	if err != nil {
+		return nil, err
+	}
 	accs := make([]acc, len(names))
-	err = RunFaultCellsReduce(cfg, cells, func(cell, _ int, res *core.FaultResult) error {
+	err = engine.RunFaultCellsReduce(plan.EngineConfig(), cells, func(cell, _ int, res *core.FaultResult) error {
 		a := &accs[cell]
 		a.trials++
 		if res.AllRecovered() && res.Silent && res.LegitimateAtSilence {
@@ -392,42 +421,34 @@ func E18ClusterContainment(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	g := graphs[len(graphs)/4]
-	families := []string{FamColoring, FamMIS, FamMatching}
 	var ks []int
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		if k <= g.N() {
 			ks = append(ks, k)
 		}
 	}
-
-	type gridCell struct {
-		family string
-		k      int
-	}
-	snapshots, err := silentSnapshots(cfg, g, families)
+	plan, err := compileCampaign(cfg, fmt.Sprintf(`campaign e18-cluster-containment
+seed %d
+trials %d
+max-steps %d
+key {graph}|{protocol}|cluster={k}
+graph %s
+protocol coloring mis matching
+adversary cluster k=%s inject=at-start
+`, cfg.Seed, cfg.Trials, cfg.MaxSteps, midSuiteGraphLine(cfg, 4), ksCSV(ks)), g)
 	if err != nil {
 		return nil, err
-	}
-	var grid []gridCell
-	var cells []Cell
-	for fi, family := range families {
-		sys, legit, err := protocolSystem(g, family)
-		if err != nil {
-			return nil, err
-		}
-		for _, k := range ks {
-			grid = append(grid, gridCell{family: family, k: k})
-			cells = append(cells, snapshotFaultCell(cfg,
-				fmt.Sprintf("%s|%s|cluster=%d", g.Name(), family, k),
-				sys, legit, snapshots[fi], "cluster", k))
-		}
 	}
 	type acc struct {
 		recovered, maxRounds, maxRadius, maxBall int
 		radii                                    []float64
 	}
-	accs := make([]acc, len(grid))
-	err = RunFaultCellsReduce(cfg, cells, func(cell, _ int, res *core.FaultResult) error {
+	cells, err := plan.EngineCells()
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]acc, len(plan.Cells))
+	err = engine.RunFaultCellsReduce(plan.EngineConfig(), cells, func(cell, _ int, res *core.FaultResult) error {
 		a := &accs[cell]
 		if res.Silent && res.LegitimateAtSilence {
 			a.recovered++
@@ -452,11 +473,11 @@ func E18ClusterContainment(cfg Config) (*Result, error) {
 	table := stats.NewTable("E18: containment radius vs fault-cluster size",
 		"protocol", "cluster", "ball r", "recovered", "mean radius", "max radius", "max rounds")
 	pass := true
-	for i, gc := range grid {
-		a := &accs[i]
+	for i := range plan.Cells {
+		cs, a := &plan.Cells[i], &accs[i]
 		ok := a.recovered == cfg.Trials
 		pass = pass && ok
-		table.AddRow(gc.family, gc.k, a.maxBall,
+		table.AddRow(cs.Protocol, cs.K, a.maxBall,
 			fmt.Sprintf("%d/%d", a.recovered, cfg.Trials),
 			stats.Summarize(a.radii).Mean, a.maxRadius, a.maxRounds)
 	}

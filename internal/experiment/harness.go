@@ -18,12 +18,12 @@ package experiment
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/rng"
-	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
@@ -79,44 +79,47 @@ type Result struct {
 // Runner executes one experiment.
 type Runner func(Config) (*Result, error)
 
+// Entry is one registry experiment: its id, a one-line description for
+// listings, and the runner.
+type Entry struct {
+	ID   string
+	Desc string
+	Run  Runner
+}
+
 // Registry maps experiment ids to runners, in id order.
-func Registry() []struct {
-	ID  string
-	Run Runner
-} {
-	return []struct {
-		ID  string
-		Run Runner
-	}{
-		{"E1", E1ColoringConvergence},
-		{"E2", E2CommunicationBits},
-		{"E3", E3MISRounds},
-		{"E4", E4MISStability},
-		{"E5", E5MatchingRounds},
-		{"E6", E6MatchingStability},
-		{"E7", E7TheoremOne},
-		{"E8", E8TheoremTwo},
-		{"E9", E9DagOrientation},
-		{"E10", E10StabilizedOverhead},
-		{"E11", E11SchedulerRobustness},
-		{"E12", E12ConcurrentRuntime},
-		{"E13", E13Transformer},
-		{"E14", E14ScalingCurves},
-		{"E15", E15FaultContainment},
-		{"E16", E16AdversaryGrid},
-		{"E17", E17RepeatedInjection},
-		{"E18", E18ClusterContainment},
+func Registry() []Entry {
+	return []Entry{
+		{"E1", "COLORING convergence and k-efficiency across the graph suite", E1ColoringConvergence},
+		{"E2", "communication bits per step vs the full-read baseline", E2CommunicationBits},
+		{"E3", "MIS convergence rounds against the Δ×#C bound", E3MISRounds},
+		{"E4", "MIS post-silence ♦-(x,1)-stability of the read sets", E4MISStability},
+		{"E5", "MATCHING convergence rounds against the (Δ+1)n+2 bound", E5MatchingRounds},
+		{"E6", "MATCHING post-silence stability and suffix communication", E6MatchingStability},
+		{"E7", "Theorem 1 impossibility witnessed by stitching (coloring)", E7TheoremOne},
+		{"E8", "Theorem 2 impossibility witnessed on the rooted DAG", E8TheoremTwo},
+		{"E9", "DAG orientation layer on arbitrary connected graphs", E9DagOrientation},
+		{"E10", "stabilized-phase communication overhead vs baselines", E10StabilizedOverhead},
+		{"E11", "convergence robustness under all six daemons", E11SchedulerRobustness},
+		{"E12", "goroutine-per-process concurrent runtime (wall-clock)", E12ConcurrentRuntime},
+		{"E13", "local-checking transformer on the full-read BFS tree", E13Transformer},
+		{"E14", "convergence scaling curves over growing graph sizes", E14ScalingCurves},
+		{"E15", "uniform fault injection into silent configurations", E15FaultContainment},
+		{"E16", "adversary-shape grid: recovery under every fault model", E16AdversaryGrid},
+		{"E17", "repeated on-silence injection under every daemon", E17RepeatedInjection},
+		{"E18", "containment radius vs fault-cluster size", E18ClusterContainment},
 	}
 }
 
-// ByID returns the runner for one experiment id.
+// ByID returns the runner for one experiment id. Unknown ids are a hard
+// error listing every valid id.
 func ByID(id string) (Runner, error) {
 	for _, e := range Registry() {
 		if e.ID == id {
 			return e.Run, nil
 		}
 	}
-	return nil, fmt.Errorf("experiment: unknown id %q", id)
+	return nil, fmt.Errorf("experiment: unknown id %q (valid ids: %s)", id, strings.Join(IDs(), ", "))
 }
 
 // IDs lists all experiment ids in order.
@@ -165,31 +168,16 @@ func suite(cfg Config) ([]*graph.Graph, error) {
 	}, nil
 }
 
-// protocolSystem builds a System for a named protocol family on g.
-// family is one of "coloring", "mis", "matching" with optional
-// "-baseline" suffix.
+// protocolSystem builds a System for a named protocol family on g (see
+// engine.System for the registered families).
 func protocolSystem(g *graph.Graph, family string) (*model.System, func(*model.System, *model.Config) bool, error) {
-	b := builders[family]
-	if b == nil {
-		return nil, nil, fmt.Errorf("experiment: unknown protocol family %q", family)
-	}
-	return b(g)
+	sys, legit, err := engine.System(g, family)
+	return sys, legit, err
 }
 
 // familyNames lists the registered protocol families, sorted.
-func familyNames() []string {
-	var names []string
-	for name := range builders {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func familyNames() []string { return engine.Families() }
 
-type builder func(*graph.Graph) (*model.System, func(*model.System, *model.Config) bool, error)
+const defaultSchedName = engine.DefaultSchedName
 
-var builders = map[string]builder{}
-
-const defaultSchedName = "random-subset"
-
-func defaultSched(seed uint64) model.Scheduler { return sched.NewRandomSubset(seed) }
+func defaultSched(seed uint64) model.Scheduler { return engine.DefaultSched(seed) }

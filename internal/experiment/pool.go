@@ -1,313 +1,66 @@
 package experiment
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/model"
-	"repro/internal/rng"
+	"repro/internal/engine"
 )
 
-// This file implements the parallel sharded trial engine. Every
-// experiment cell — one protocol family on one graph under one scheduler
-// — expands into Config.Trials independent trial jobs that a worker pool
-// executes across Config.Parallelism goroutines. Each worker owns one
-// reusable *core.Runner (recorder, simulator, scheduler, configuration
-// buffers), so the steady-state trial loop allocates nothing; results are
-// either materialized per trial (RunCells) or streamed through a fold
-// without being retained (RunCellsReduce).
-//
-// Determinism: the seed of trial t of a cell is
-//
-//	rng.Derive(rng.DeriveString(Config.Seed, cell.Key), t)
-//
-// a pure function of the master seed, the cell key and the trial index.
-// No seed depends on scheduling order, and results land in a
-// position-indexed matrix (or fold in trial order per cell), so the
-// output is byte-identical for every Parallelism value (1 reproduces
-// fully sequential execution) and identical between the pooled and
-// one-shot execution paths.
+// The parallel sharded trial engine lives in internal/engine (shared
+// with the campaign subsystem); this file keeps the experiment-facing
+// surface as thin aliases so the registry's experiments read exactly as
+// before. See the engine package documentation for the determinism
+// contract: per-trial seeds derive from (Config.Seed, cell key, trial
+// index) alone, so tables are byte-identical at every Parallelism.
 
-// Cell is one unit of the experiment grid: a stable key used for seed
-// derivation plus the function executing one adversarial trial. Exactly
-// one of Run and RunOn must be non-nil; both must be safe for concurrent
-// invocation across trials (systems and graphs are immutable after
-// construction).
-type Cell struct {
-	// Key identifies the cell in the experiment grid; distinct cells of
-	// one RunCells call must use distinct keys or they will share trial
-	// seeds.
-	Key string
-	// Run executes trial `trial` with the derived seed, materializing a
-	// fresh result.
-	Run func(trial int, seed uint64) (*core.RunResult, error)
-	// RunOn executes the trial on the calling worker's reusable Runner,
-	// filling res in place. It is the allocation-free form: the pool
-	// passes a fresh res when results are retained (RunCells) and a
-	// reused buffer when they are folded away (RunCellsReduce).
-	RunOn func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error
-	// RunFaultOn executes the trial as an injected (adversarial-fault)
-	// trial, filling a FaultResult in place. Cells of this form run only
-	// under RunFaultCellsReduce.
-	RunFaultOn func(rn *core.Runner, trial int, seed uint64, res *core.FaultResult) error
-}
+// Cell is one unit of the experiment grid (engine.Cell).
+type Cell = engine.Cell
 
-// runTrial executes one trial of c, materializing into reuse when
-// non-nil (RunOn cells only; legacy Run cells always allocate).
-func (c *Cell) runTrial(rn *core.Runner, trial int, seed uint64, reuse *core.RunResult) (*core.RunResult, error) {
-	if c.RunOn != nil {
-		res := reuse
-		if res == nil {
-			res = &core.RunResult{}
-		}
-		if err := c.RunOn(rn, trial, seed, res); err != nil {
-			return nil, err
-		}
-		return res, nil
+// ProtoCell describes a (graph, protocol family, scheduler) cell
+// (engine.ProtoCell).
+type ProtoCell = engine.ProtoCell
+
+// engineConfig projects the experiment configuration onto the trial
+// engine's (Quick only affects the graph suite, not the engine).
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
+		Seed:        c.Seed,
+		Trials:      c.Trials,
+		MaxSteps:    c.MaxSteps,
+		Parallelism: c.Parallelism,
 	}
-	return c.Run(trial, seed)
-}
-
-func cellSeedsFor(cfg Config, cells []Cell) []uint64 {
-	seeds := make([]uint64, len(cells))
-	for i, c := range cells {
-		seeds[i] = rng.DeriveString(cfg.Seed, c.Key)
-	}
-	return seeds
 }
 
 // RunCells executes cfg.Trials trials of every cell on the worker pool
-// and returns the results indexed [cell][trial]. Jobs are ordered
-// cell-major, so a worker's consecutive jobs usually share a cell and its
-// Runner stays bound to one system.
+// and returns the results indexed [cell][trial].
 func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
-	cfg = cfg.withDefaults()
-	out := make([][]*core.RunResult, len(cells))
-	for i := range out {
-		out[i] = make([]*core.RunResult, cfg.Trials)
-	}
-	cellSeeds := cellSeedsFor(cfg, cells)
-	err := forEachCtx(cfg.Parallelism, len(cells)*cfg.Trials, core.NewRunner, func(rn *core.Runner, j int) error {
-		cell, trial := j/cfg.Trials, j%cfg.Trials
-		res, err := cells[cell].runTrial(rn, trial, rng.Derive(cellSeeds[cell], uint64(trial)), nil)
-		if err != nil {
-			return fmt.Errorf("cell %q trial %d: %w", cells[cell].Key, trial, err)
-		}
-		out[cell][trial] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return engine.RunCells(cfg.engineConfig(), cells)
 }
 
 // RunCellsReduce executes cfg.Trials trials of every cell and streams
-// every result through fold instead of materializing the grid: memory
-// stays O(cells + workers) instead of O(cells × trials × n).
-//
-// Scheduling is cell-affine — one worker owns all trials of a cell,
-// running them in trial order on its reusable Runner with exactly the
-// trial seeds of RunCells — so fold(cell, trial, res) is invoked in
-// increasing trial order within each cell and aggregation is
-// deterministic at every Parallelism. fold runs concurrently for
-// DIFFERENT cells (never for the same cell): per-cell accumulators
-// indexed by cell need no locking, anything shared across cells does.
-// res is a worker-owned buffer valid only for the duration of the call;
-// fold must copy whatever needs to survive.
-//
-// Cell affinity means effective parallelism is bounded by len(cells)
-// (the registry's grids have tens of cells, comfortably above typical
-// core counts). A grid of few cells with very many trials parallelizes
-// at the trial level only under RunCells — prefer it there and pay the
-// materialization.
+// every result through fold; see engine.RunCellsReduce for the ordering
+// and concurrency contract.
 func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.RunResult) error) error {
-	cfg = cfg.withDefaults()
-	cellSeeds := cellSeedsFor(cfg, cells)
-	type wctx struct {
-		rn  *core.Runner
-		res core.RunResult
-	}
-	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
-		func(w *wctx, i int) error {
-			for trial := 0; trial < cfg.Trials; trial++ {
-				res, err := cells[i].runTrial(w.rn, trial, rng.Derive(cellSeeds[i], uint64(trial)), &w.res)
-				if err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-				if err := fold(i, trial, res); err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-			}
-			return nil
-		})
+	return engine.RunCellsReduce(cfg.engineConfig(), cells, fold)
 }
 
-// RunFaultCellsReduce is RunCellsReduce for injected trials: every cell
-// must set RunFaultOn, and every result — the final run outcome plus the
-// per-injection recovery episodes — streams through fold. Scheduling,
-// trial seeds, cell affinity and the fold's ordering/concurrency
-// contract are exactly RunCellsReduce's; res (including res.Episodes) is
-// a worker-owned buffer valid only for the duration of the call.
+// RunFaultCellsReduce is RunCellsReduce for injected trials; see
+// engine.RunFaultCellsReduce.
 func RunFaultCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.FaultResult) error) error {
-	cfg = cfg.withDefaults()
-	cellSeeds := cellSeedsFor(cfg, cells)
-	type wctx struct {
-		rn  *core.Runner
-		res core.FaultResult
-	}
-	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
-		func(w *wctx, i int) error {
-			if cells[i].RunFaultOn == nil {
-				return fmt.Errorf("cell %q has no RunFaultOn", cells[i].Key)
-			}
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := rng.Derive(cellSeeds[i], uint64(trial))
-				if err := cells[i].RunFaultOn(w.rn, trial, seed, &w.res); err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-				if err := fold(i, trial, &w.res); err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-			}
-			return nil
-		})
-}
-
-// ProtoCell describes a (graph, protocol family, scheduler) cell for
-// RunProtoCells.
-type ProtoCell struct {
-	Graph  *graph.Graph
-	Family string
-	// Sched builds the trial's scheduler from the trial seed (nil →
-	// defaultSched). SchedName must name it when Sched is non-nil, so the
-	// cell key stays stable (and the per-worker scheduler cache keyed by
-	// it stays sound).
-	Sched     func(uint64) model.Scheduler
-	SchedName string
-	// SuffixRounds keeps the run going after silence (see core.RunOptions).
-	SuffixRounds int
-}
-
-// protoCells expands specs into runner-aware pool cells, building each
-// cell's system once.
-func protoCells(cfg Config, specs []ProtoCell) ([]Cell, error) {
-	cells := make([]Cell, len(specs))
-	for i, sp := range specs {
-		sys, legit, err := protocolSystem(sp.Graph, sp.Family)
-		if err != nil {
-			return nil, err
-		}
-		mkSched, schedName := sp.Sched, sp.SchedName
-		if mkSched == nil {
-			mkSched, schedName = defaultSched, defaultSchedName
-		}
-		suffix := sp.SuffixRounds
-		cells[i] = Cell{
-			Key: fmt.Sprintf("%s|%s|%s|%d", sp.Graph.Name(), sp.Family, schedName, suffix),
-			RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
-				return rn.RunRandom(sys, core.RunOptions{
-					Scheduler:    rn.Scheduler(schedName, seed, mkSched),
-					Seed:         seed,
-					MaxSteps:     cfg.MaxSteps,
-					CheckEvery:   1,
-					SuffixRounds: suffix,
-					Legitimate:   legit,
-				}, res)
-			},
-		}
-	}
-	return cells, nil
+	return engine.RunFaultCellsReduce(cfg.engineConfig(), cells, fold)
 }
 
 // RunProtoCells builds each cell's system once and fans all trials out
 // across the pool: the workhorse behind the per-graph loops of E1-E15.
 func RunProtoCells(cfg Config, specs []ProtoCell) ([][]*core.RunResult, error) {
-	cfg = cfg.withDefaults()
-	cells, err := protoCells(cfg, specs)
-	if err != nil {
-		return nil, err
-	}
-	return RunCells(cfg, cells)
+	return engine.RunProtoCells(cfg.engineConfig(), specs)
 }
 
-// RunProtoCellsReduce is the streaming form of RunProtoCells: every trial
-// result is folded (see RunCellsReduce for the ordering and concurrency
-// contract) instead of materialized, which is how the aggregate-only
-// experiments keep their memory independent of Trials.
+// RunProtoCellsReduce is the streaming form of RunProtoCells.
 func RunProtoCellsReduce(cfg Config, specs []ProtoCell, fold func(cell, trial int, res *core.RunResult) error) error {
-	cfg = cfg.withDefaults()
-	cells, err := protoCells(cfg, specs)
-	if err != nil {
-		return err
-	}
-	return RunCellsReduce(cfg, cells, fold)
+	return engine.RunProtoCellsReduce(cfg.engineConfig(), specs, fold)
 }
 
-// forEach runs fn(0..n-1) on up to `workers` goroutines (<=0 selects
-// GOMAXPROCS). After the first error, idle workers stop picking up new
-// jobs; in-flight jobs run to completion. Among the errors observed, the
-// one with the lowest job index is returned.
+// forEach runs fn(0..n-1) on up to `workers` goroutines (engine.ForEach).
 func forEach(workers, n int, fn func(i int) error) error {
-	return forEachCtx(workers, n, func() struct{} { return struct{}{} },
-		func(_ struct{}, i int) error { return fn(i) })
-}
-
-// forEachCtx is forEach with a lazily-built per-worker context: every
-// worker goroutine calls newCtx once and passes the context to each job
-// it executes, giving jobs worker-affine reusable state (the trial
-// engine's *core.Runner) without synchronization.
-func forEachCtx[T any](workers, n int, newCtx func() T, fn func(ctx T, i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		ctx := newCtx()
-		for i := 0; i < n; i++ {
-			if err := fn(ctx, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-
-		mu       sync.Mutex
-		errIdx   = n
-		firstErr error
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			ctx := newCtx()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(ctx, i); err != nil {
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					failed.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return engine.ForEach(workers, n, fn)
 }

@@ -153,6 +153,9 @@ func ParseSchedule(s string) (Schedule, error) {
 	}
 	switch parts[0] {
 	case "at-start":
+		if len(parts) != 1 {
+			return Schedule{}, fmt.Errorf("fault: at-start takes no arguments (got %q)", s)
+		}
 		return AtStart(), nil
 	case "at-step":
 		if len(parts) != 2 {

@@ -3,7 +3,9 @@
 package stats
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -176,6 +178,24 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return sb.String()
+}
+
+// CSV writes the table as RFC 4180 CSV — headers then rows, quoting
+// handled by encoding/csv (cells containing commas, quotes or newlines
+// round-trip). The title is not emitted: CSV output is data, consumers
+// name it by file.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Markdown renders the table as GitHub-flavored markdown.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"math"
 	"strings"
 	"testing"
@@ -127,5 +128,46 @@ func TestTableMarkdown(t *testing.T) {
 	if !strings.Contains(md, "### m") || !strings.Contains(md, "| a | b |") ||
 		!strings.Contains(md, "| --- | --- |") || !strings.Contains(md, "| 1 | 2 |") {
 		t.Fatalf("markdown wrong:\n%s", md)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("title is not emitted", "name", "value", "note")
+	tb.AddRow("plain", 1.5, "ok")
+	tb.AddRow("comma,cell", 2, `quote "q" cell`)
+	tb.AddRow("newline\ncell", 3, "tail")
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "title") {
+		t.Fatalf("CSV must not emit the title:\n%s", out)
+	}
+	// Quoting-correctness: a conforming reader must round-trip the cells.
+	rd := csv.NewReader(strings.NewReader(out))
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not re-parse: %v\n%s", err, out)
+	}
+	want := [][]string{
+		{"name", "value", "note"},
+		{"plain", "1.50", "ok"},
+		{"comma,cell", "2", `quote "q" cell`},
+		{"newline\ncell", "3", "tail"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d:\n%s", len(recs), len(want), out)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if recs[i][j] != want[i][j] {
+				t.Fatalf("record[%d][%d] = %q, want %q", i, j, recs[i][j], want[i][j])
+			}
+		}
+	}
+	// The raw bytes must actually quote the hazardous cells.
+	if !strings.Contains(out, `"comma,cell"`) || !strings.Contains(out, `"quote ""q"" cell"`) {
+		t.Fatalf("hazardous cells not quoted:\n%s", out)
 	}
 }
