@@ -1,4 +1,6 @@
 # Local workflows and CI invoke identical commands through these targets.
+# `make help` lists them; the `## ...` suffix on a target line is its
+# help text.
 
 GO ?= go
 
@@ -6,23 +8,39 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test test-race bench bench-json bench-diff bench-diff-committed fuzz-smoke campaign-smoke fmt vet check
+.PHONY: build test test-race test-full bench bench-json bench-diff bench-diff-committed \
+	fuzz-smoke campaign-smoke events-smoke lint fmt vet check help
 
-build:
+help: ## List targets with their one-line descriptions
+	@awk -F':.*## ' '/^[a-zA-Z_-]+:.*## / {printf "  %-22s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
+
+build: ## Compile every package
 	$(GO) build ./...
 
-test:
+test: ## Short test suite (what CI runs per push)
 	$(GO) test -short -timeout 10m ./...
 
-test-race:
+test-race: ## Short suite under the race detector
 	$(GO) test -race -short -timeout 10m ./...
 
-# Full (non-short) suite: what the tier-1 verify runs.
-test-full:
+test-full: ## Full (non-short) suite: what the tier-1 verify runs
 	$(GO) test -timeout 20m ./...
 
-bench:
+bench: ## Run every benchmark once (compile + smoke)
 	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model ./internal/core ./internal/trace ./internal/fault
+
+# Static analysis beyond go vet, plus the vulnerability scanner over the
+# dependency graph (trivial here: the module is stdlib-only, so the scan
+# gates the toolchain/stdlib version itself). Both tools are version-
+# pinned and fetched per run via `go run pkg@version` — no tool
+# dependencies enter go.mod, and CI and local runs agree on versions by
+# construction. Requires network on first run (the module cache persists
+# afterwards); pure-local workflows use `make vet fmt` instead.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+lint: ## staticcheck + govulncheck (pinned versions, fetched on demand)
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # Native fuzz smoke: each target fuzzes for a short budget (a regression
 # in the encoding round-trip or the subset sampler surfaces within
@@ -30,7 +48,7 @@ bench:
 # on every `go test`). `go test -fuzz` takes one target per invocation,
 # hence the two runs.
 FUZZTIME ?= 20s
-fuzz-smoke:
+fuzz-smoke: ## Short native fuzz pass over the fuzz targets
 	$(GO) test ./internal/graph -fuzz FuzzGraphEncodingRoundTrip -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/rng -fuzz FuzzAppendSubsetNonEmpty -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/campaign -fuzz FuzzParseCampaign -fuzztime $(FUZZTIME) -run '^$$'
@@ -41,7 +59,7 @@ fuzz-smoke:
 # end-to-end proof of the campaign subsystem's resume contract, cheap
 # enough for every push.
 CAMPAIGN_SMOKE_DIR ?= /tmp/campaign-smoke
-campaign-smoke:
+campaign-smoke: ## Quickstart campaign twice: resume contract end to end
 	rm -rf $(CAMPAIGN_SMOKE_DIR) && mkdir -p $(CAMPAIGN_SMOKE_DIR)
 	$(GO) run ./cmd/sscampaign -cache $(CAMPAIGN_SMOKE_DIR)/cache -jsonl $(CAMPAIGN_SMOKE_DIR)/run1.jsonl \
 		examples/campaigns/quickstart.campaign > $(CAMPAIGN_SMOKE_DIR)/table1.txt 2> $(CAMPAIGN_SMOKE_DIR)/status1.txt
@@ -53,6 +71,29 @@ campaign-smoke:
 	grep -Eq ', cache [1-9][0-9]* hits, 0 misses' $(CAMPAIGN_SMOKE_DIR)/status2.txt
 	@echo "campaign smoke OK: byte-identical output, second run fully cached"
 
+# Events smoke: the end-to-end proof of the canonical event log's
+# determinism contract (internal/obs). The quickstart campaign runs
+# three times — cold at parallelism 1 (populating a cache), uncached at
+# parallelism 4, and fully warm at parallelism 4 — and all three -events
+# logs must be byte-identical: scheduling must not reorder the log, and
+# cache hits must replay the exact events a compute pass emits. The
+# committed golden event log (internal/experiment/testdata) re-verifies
+# as part of the same target.
+EVENTS_SMOKE_DIR ?= /tmp/events-smoke
+events-smoke: ## Event-log byte-identity across parallelism and cache state
+	rm -rf $(EVENTS_SMOKE_DIR) && mkdir -p $(EVENTS_SMOKE_DIR)
+	$(GO) run ./cmd/sscampaign -parallelism 1 -cache $(EVENTS_SMOKE_DIR)/cache -events $(EVENTS_SMOKE_DIR)/cold.events \
+		examples/campaigns/quickstart.campaign > /dev/null 2> $(EVENTS_SMOKE_DIR)/status1.txt
+	$(GO) run ./cmd/sscampaign -parallelism 4 -events $(EVENTS_SMOKE_DIR)/p4.events \
+		examples/campaigns/quickstart.campaign > /dev/null 2> $(EVENTS_SMOKE_DIR)/status2.txt
+	$(GO) run ./cmd/sscampaign -parallelism 4 -cache $(EVENTS_SMOKE_DIR)/cache -events $(EVENTS_SMOKE_DIR)/warm.events \
+		examples/campaigns/quickstart.campaign > /dev/null 2> $(EVENTS_SMOKE_DIR)/status3.txt
+	cmp $(EVENTS_SMOKE_DIR)/cold.events $(EVENTS_SMOKE_DIR)/p4.events
+	cmp $(EVENTS_SMOKE_DIR)/cold.events $(EVENTS_SMOKE_DIR)/warm.events
+	grep -Eq ', cache [1-9][0-9]* hits, 0 misses' $(EVENTS_SMOKE_DIR)/status3.txt
+	$(GO) test ./internal/experiment -run TestGoldenEvents
+	@echo "events smoke OK: logs byte-identical across parallelism 1/4 and cold/warm cache"
+
 # Machine-readable perf trajectory: run the engine core benchmarks (step
 # engine, enabled tracker, trial pipeline, recorder) and record
 # (name, ns/op, allocs/op) in BENCH_3.json. The committed copy is the
@@ -62,7 +103,7 @@ campaign-smoke:
 # a later PR resets the baseline.
 BENCH_CORE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkSimulatorStep|BenchmarkTrialLoop|BenchmarkRecorderReadFullStep'
 BENCH_PKGS = ./internal/model ./internal/core ./internal/trace .
-bench-json:
+bench-json: ## Record the core-benchmark baseline as BENCH_3.json
 	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > BENCH_3.json
 	@echo wrote BENCH_3.json
@@ -72,10 +113,7 @@ bench-json:
 # and experiment benches run whole executions and are too noisy to gate).
 BENCH_GATE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkRecorderReadFullStep'
 
-# bench-diff: fresh local run vs the committed current baseline — the
-# pre-commit regression check. Numbers are machine-specific, so expect
-# noise when your machine differs from the baseline's.
-bench-diff:
+bench-diff: ## Fresh local benchmark run vs the committed baseline
 	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > /tmp/bench-head.json
 	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_3.json /tmp/bench-head.json
@@ -83,13 +121,13 @@ bench-diff:
 # bench-diff-committed: committed previous baseline vs committed current
 # baseline — both measured on the same machine, so the gate is
 # deterministic. CI runs this on every push.
-bench-diff-committed:
+bench-diff-committed: ## Committed previous vs current baseline (deterministic)
 	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_2.json BENCH_3.json
 
-fmt:
+fmt: ## Fail if any file needs gofmt
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-vet:
+vet: ## go vet every package
 	$(GO) vet ./...
 
-check: build vet fmt test
+check: build vet fmt test ## build + vet + fmt + test

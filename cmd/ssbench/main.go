@@ -12,6 +12,8 @@
 //	ssbench -quick -trials 2     # fast pass
 //	ssbench -parallelism 1       # sequential pool (identical tables)
 //	ssbench -time                # per-experiment wall clock on stderr
+//	ssbench -events run.events   # canonical deterministic event log
+//	ssbench -log-level debug     # live slog JSON events on stderr
 //
 // A custom fault scenario (instead of the registry) is selected with
 // -adversary; -faults sizes it and -inject schedules it:
@@ -28,12 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -58,6 +62,8 @@ func run(args []string, out io.Writer) error {
 		adversary   = fs.String("adversary", "", fmt.Sprintf("run a custom fault scenario with this adversary instead of the registry (one of %v)", fault.Names()))
 		faults      = fs.Int("faults", 2, "fault size k for -adversary (processes corrupted per injection)")
 		inject      = fs.String("inject", "at-start", "injection schedule for -adversary: at-start | at-step:T | every:T[:N] | on-silence[:N]")
+		eventsPath  = fs.String("events", "", "write the canonical deterministic event log to this file")
+		logLevel    = fs.String("log-level", "off", "live slog JSON events on stderr: off, info (cell granularity) or debug (every trial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,12 +87,33 @@ func run(args []string, out io.Writer) error {
 	if *runIDs != "" {
 		ids = strings.Split(*runIDs, ",")
 	}
+	var replay *obs.ReplaySink
+	if *eventsPath != "" {
+		if *eventsPath == "-" {
+			return fmt.Errorf("-events - is not supported here (stdout carries the tables): write the event log to a file")
+		}
+		replay = obs.NewReplaySink()
+	}
+	var logSink obs.Observer
+	switch *logLevel {
+	case "off", "":
+	case "info", "debug":
+		lvl := slog.LevelInfo
+		if *logLevel == "debug" {
+			lvl = slog.LevelDebug
+		}
+		logSink = obs.NewSlogSink(slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	default:
+		return fmt.Errorf("bad -log-level %q (want off, info or debug)", *logLevel)
+	}
+
 	cfg := experiment.Config{
 		Seed:        *seed,
 		Trials:      *trials,
 		MaxSteps:    *maxSteps,
 		Quick:       *quick,
 		Parallelism: *parallelism,
+		Observer:    obs.Tee(replayOrNil(replay), logSink),
 	}
 
 	type job struct {
@@ -144,10 +171,33 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, "\n\n")
 		}
 	}
+	if replay != nil {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			return err
+		}
+		if err := replay.WriteCanonical(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	if !allPass {
 		return fmt.Errorf("some experiments FAILED their paper-claim checks")
 	}
 	return nil
+}
+
+// replayOrNil avoids handing obs.Tee a typed-nil Observer interface (a
+// nil *ReplaySink inside a non-nil interface would pass Tee's nil
+// filter and then panic on use).
+func replayOrNil(r *obs.ReplaySink) obs.Observer {
+	if r == nil {
+		return nil
+	}
+	return r
 }
 
 func verdict(pass bool) string {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -119,5 +122,39 @@ func TestRunFlagCombinations(t *testing.T) {
 	}
 	if err := run([]string{"-run", "E3", "-adversary", "uniform"}, &sb); err == nil {
 		t.Fatal("-run combined with -adversary accepted")
+	}
+}
+
+// TestRunEvents: -events writes the canonical log for the selected
+// experiments, byte-identical across -parallelism.
+func TestRunEvents(t *testing.T) {
+	var logs [][]byte
+	for _, par := range []string{"1", "4"} {
+		ev := filepath.Join(t.TempDir(), "run.events")
+		var sb strings.Builder
+		if err := run([]string{"-run", "E1", "-quick", "-trials", "2", "-parallelism", par, "-events", ev}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), `{"seq":0,"ev":"cell-start"`) {
+			t.Fatalf("unexpected first event: %s", data)
+		}
+		logs = append(logs, data)
+	}
+	if !bytes.Equal(logs[0], logs[1]) {
+		t.Fatalf("event logs differ across parallelism:\n--- 1\n%s--- 4\n%s", logs[0], logs[1])
+	}
+}
+
+func TestRunEventsErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "E1", "-events", "-"}, &sb); err == nil {
+		t.Fatal("-events - accepted (stdout carries the tables)")
+	}
+	if err := run([]string{"-run", "E1", "-log-level", "loud"}, &sb); err == nil {
+		t.Fatal("bad -log-level accepted")
 	}
 }

@@ -12,22 +12,29 @@
 //	sscampaign -cache .campaign-cache file.campaign   # resume / incremental
 //	sscampaign -shard 0/2 file.campaign      # this process runs cells [0, C/2)
 //	sscampaign -print file.campaign          # canonical spec, no execution
+//	sscampaign -events run.events file.campaign   # canonical event log ("-": stdout)
+//	sscampaign -log-level debug file.campaign     # slog JSON events on stderr
 //
 // Determinism: for a fixed campaign file the output bytes are identical
 // across -parallelism values and across cache states, and concatenating
 // the -shard i/n outputs in shard order reproduces the unsharded
-// output. Cache statistics go to stderr, never stdout.
+// output. The -events log shares that contract (see internal/obs: no
+// wall-clock, cell-ordered, cache hits replayed); the -log-level stream
+// is timestamped live diagnostics and deliberately does not. Cache
+// statistics go to stderr, never stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -47,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonlPath   = fs.String("jsonl", "", "write per-trial JSONL records to this path (\"-\": stdout, suppresses the table)")
 		csvOut      = fs.Bool("csv", false, "render the summary table as CSV instead of aligned text")
 		printSpec   = fs.Bool("print", false, "parse, print the canonical campaign spec and exit without running")
+		eventsPath  = fs.String("events", "", "write the canonical deterministic event log to this path (\"-\": stdout, suppresses the table)")
+		logLevel    = fs.String("log-level", "off", "live slog JSON events on stderr: off, info (cell granularity) or debug (every trial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +65,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *csvOut && *jsonlPath == "-" {
 		return fmt.Errorf("-csv and -jsonl - both claim stdout: write the JSONL to a file instead")
+	}
+	if *eventsPath == "-" && (*jsonlPath == "-" || *csvOut) {
+		return fmt.Errorf("-events - conflicts with other stdout output: write the event log to a file instead")
+	}
+	observer, replay, err := buildObserver(*eventsPath, *logLevel, stderr)
+	if err != nil {
+		return err
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -78,9 +94,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	out, err := plan.Run(campaign.RunOptions{Shard: shard, Shards: shards, CacheDir: *cacheDir})
+	out, err := plan.Run(campaign.RunOptions{Shard: shard, Shards: shards, CacheDir: *cacheDir, Observer: observer})
 	if err != nil {
 		return err
+	}
+	if replay != nil {
+		if err := writeEvents(*eventsPath, replay, stdout); err != nil {
+			return err
+		}
 	}
 
 	status := fmt.Sprintf("campaign %s: %d cells", spec.Name, len(plan.Cells))
@@ -92,6 +113,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stderr, status)
 
+	if *eventsPath == "-" {
+		return nil // the event log owns stdout
+	}
 	if *jsonlPath == "-" {
 		return out.WriteJSONL(stdout)
 	}
@@ -113,6 +137,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	_, err = fmt.Fprint(stdout, out.Table().String())
 	return err
+}
+
+// buildObserver assembles the run's event sinks from the -events and
+// -log-level flags: a ReplaySink buffering the canonical log (nil when
+// -events is unset) teed with a live slog JSON sink on stderr.
+func buildObserver(eventsPath, logLevel string, stderr io.Writer) (obs.Observer, *obs.ReplaySink, error) {
+	var replay *obs.ReplaySink
+	if eventsPath != "" {
+		replay = obs.NewReplaySink()
+	}
+	var logSink obs.Observer
+	switch logLevel {
+	case "off", "":
+	case "info", "debug":
+		lvl := slog.LevelInfo
+		if logLevel == "debug" {
+			lvl = slog.LevelDebug
+		}
+		h := slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: lvl})
+		logSink = obs.NewSlogSink(slog.New(h))
+	default:
+		return nil, nil, fmt.Errorf("bad -log-level %q (want off, info or debug)", logLevel)
+	}
+	if replay == nil {
+		return obs.Tee(logSink), nil, nil
+	}
+	return obs.Tee(replay, logSink), replay, nil
+}
+
+// writeEvents flushes the canonical event log to path ("-": stdout).
+func writeEvents(path string, replay *obs.ReplaySink, stdout io.Writer) error {
+	if path == "-" {
+		return replay.WriteCanonical(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := replay.WriteCanonical(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseShard parses "i/n" ("" means run everything). Parsing is strict

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,7 +78,7 @@ func TestRunCSV(t *testing.T) {
 	if err := run([]string{"-csv", writeCampaign(t, testSrc)}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(out.String(), "cell,key,silent,legitimate,rounds\n") {
+	if !strings.HasPrefix(out.String(), "cell,key,trials,silent,legitimate,rounds,±ci95\n") {
 		t.Fatalf("CSV header wrong:\n%s", out.String())
 	}
 }
@@ -124,5 +125,91 @@ func TestRunErrors(t *testing.T) {
 		if err := run([]string{"-shard", shard, good}, &out, &errOut); err == nil {
 			t.Fatalf("bad -shard %q accepted", shard)
 		}
+	}
+}
+
+// TestRunEventsFile: -events writes the canonical log, and the bytes
+// are identical across -parallelism and across cache states.
+func TestRunEventsFile(t *testing.T) {
+	path := writeCampaign(t, testSrc)
+	cache := filepath.Join(t.TempDir(), "cache")
+	logs := make([][]byte, 0, 3)
+	for _, args := range [][]string{
+		{"-parallelism", "1", "-cache", cache}, // cold, populates the cache
+		{"-parallelism", "4"},                  // uncached
+		{"-parallelism", "4", "-cache", cache}, // fully warm
+	} {
+		ev := filepath.Join(t.TempDir(), "run.events")
+		var out, errOut strings.Builder
+		if err := run(append(append([]string{"-events", ev}, args...), path), &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), `{"seq":0,"ev":"campaign-start","key":"clitest","cells":2}`) {
+			t.Fatalf("unexpected first event: %s", data)
+		}
+		if !strings.Contains(out.String(), "cells ×") {
+			t.Fatal("-events FILE must keep the table on stdout")
+		}
+		logs = append(logs, data)
+	}
+	if !bytes.Equal(logs[0], logs[1]) || !bytes.Equal(logs[0], logs[2]) {
+		t.Fatalf("event logs differ across parallelism/cache state:\n--- cold p1\n%s--- p4\n%s--- warm p4\n%s",
+			logs[0], logs[1], logs[2])
+	}
+}
+
+// TestRunEventsStdout: -events - owns stdout and suppresses the table.
+func TestRunEventsStdout(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-events", "-", writeCampaign(t, testSrc)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), `{"seq":0,"ev":"campaign-start"`) {
+		t.Fatalf("stdout is not the event log:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "cells ×") {
+		t.Fatal("-events - must suppress the table")
+	}
+}
+
+// TestRunLogLevel: -log-level emits timestamped slog JSON on stderr,
+// never on stdout.
+func TestRunLogLevel(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-log-level", "info", writeCampaign(t, testSrc)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), `"msg":"cell-finish"`) {
+		t.Fatalf("stderr missing slog events:\n%s", errOut.String())
+	}
+	if strings.Contains(out.String(), `"msg":`) {
+		t.Fatal("slog events leaked to stdout")
+	}
+	// debug adds trial granularity.
+	errOut.Reset()
+	out.Reset()
+	if err := run([]string{"-log-level", "debug", writeCampaign(t, testSrc)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), `"msg":"trial-finish"`) {
+		t.Fatalf("debug level missing trial events:\n%s", errOut.String())
+	}
+}
+
+func TestRunEventsErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	good := writeCampaign(t, testSrc)
+	if err := run([]string{"-events", "-", "-csv", good}, &out, &errOut); err == nil {
+		t.Fatal("-events - with -csv accepted")
+	}
+	if err := run([]string{"-events", "-", "-jsonl", "-", good}, &out, &errOut); err == nil {
+		t.Fatal("-events - with -jsonl - accepted")
+	}
+	if err := run([]string{"-log-level", "loud", good}, &out, &errOut); err == nil {
+		t.Fatal("bad -log-level accepted")
 	}
 }

@@ -17,7 +17,10 @@ import (
 // change anywhere in the trial pipeline (engine, model, sched, fault,
 // protocols) can alter the records computed for an unchanged cell spec:
 // stale entries then miss instead of resurrecting outdated results.
-const EngineVersion = "campaign-engine-v1"
+// v2: sequential trial stopping entered the fingerprint (`stop=` line),
+// so v1 entries — written before adaptive cells could exist — miss
+// cleanly rather than alias an adaptive cell's realized records.
+const EngineVersion = "campaign-engine-v2"
 
 // cellFingerprint is the canonical content identity of one cell's
 // results: everything that determines the records' bytes — the engine
@@ -30,6 +33,7 @@ func (p *Plan) cellFingerprint(cs *CellSpec) string {
 		EngineVersion,
 		"seed=" + strconv.FormatUint(p.cfg.Seed, 10),
 		"trials=" + strconv.Itoa(p.cfg.Trials),
+		"stop=" + p.cfg.Stop.String(),
 		"max-steps=" + strconv.Itoa(p.cfg.MaxSteps),
 		"suffix-rounds=" + strconv.Itoa(p.Spec.SuffixRounds),
 		"graph=" + cs.GraphLine,
@@ -60,16 +64,19 @@ type cacheEntry struct {
 func cachePath(dir, hash string) string { return filepath.Join(dir, hash+".json") }
 
 // loadCache returns the cached records for a fingerprint, or nil when
-// the entry is absent, unreadable, or stale (wrong fingerprint or trial
-// count).
-func loadCache(dir, fingerprint string, trials int) []TrialRecord {
+// the entry is absent, unreadable, or stale (wrong fingerprint or
+// record count). Fixed-budget cells load exactly minRecs == maxRecs
+// records; adaptive cells accept any count within the stop rule's
+// Min..Max bounds — the realized count is itself part of the cached
+// result and round-trips as len(Records).
+func loadCache(dir, fingerprint string, minRecs, maxRecs int) []TrialRecord {
 	data, err := os.ReadFile(cachePath(dir, cellHash(fingerprint)))
 	if err != nil {
 		return nil
 	}
 	var entry cacheEntry
-	if json.Unmarshal(data, &entry) != nil ||
-		entry.Fingerprint != fingerprint || len(entry.Records) != trials {
+	if json.Unmarshal(data, &entry) != nil || entry.Fingerprint != fingerprint ||
+		len(entry.Records) < minRecs || len(entry.Records) > maxRecs {
 		return nil
 	}
 	return entry.Records

@@ -252,9 +252,11 @@ func TestRunRecordsAndJSONL(t *testing.T) {
 			t.Fatalf("coloring on path-4 should converge legitimately: %s", line)
 		}
 	}
-	// The summary table carries one row per cell plus title/header/sep.
+	// The summary table carries one row per cell: cell, key, realized
+	// trials, then the metric columns (numeric metrics grow a ±ci95
+	// half-width column).
 	tab := out.Table()
-	if len(tab.Rows) != 1 || tab.Rows[0][2] != "2/2" {
+	if len(tab.Rows) != 1 || tab.Rows[0][2] != "2" || tab.Rows[0][3] != "2/2" {
 		t.Fatalf("table aggregation wrong: %+v", tab.Rows)
 	}
 }

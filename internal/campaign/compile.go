@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 )
@@ -91,6 +92,14 @@ type builtSys struct {
 // EngineConfig returns the engine configuration the plan runs under.
 func (p *Plan) EngineConfig() engine.Config { return p.cfg }
 
+// SetObserver routes the plan's events — both the engine-level lifecycle
+// events of callers that feed EngineCells to the engine themselves and
+// the core-level diagnostics of the trial closures — to o. Plan.Run sets
+// it from its own RunOptions; callers bypassing Run set it before
+// EngineCells. The closures read it at trial time, so it must be set
+// before the pool launches.
+func (p *Plan) SetObserver(o obs.Observer) { p.cfg.Observer = o }
+
 // EngineCells materializes every cell (building systems and computing
 // any still-missing at-start snapshots in one warm-up batch) and
 // returns the runnable engine cells, index-aligned with Cells. Callers
@@ -141,6 +150,7 @@ func Compile(spec *Spec, parallelism int) (*Plan, error) {
 			Trials:      spec.Trials,
 			MaxSteps:    spec.MaxSteps,
 			Parallelism: parallelism,
+			Stop:        spec.Stop,
 		}.WithDefaults(),
 	}
 
@@ -364,6 +374,11 @@ func (p *Plan) ensureEngineCells(cells []int) error {
 			}
 			return sc
 		}
+		// Core-level diagnostics carry the cell's absolute campaign index
+		// (engine-emitted lifecycle events of a sub-sliced run are
+		// remapped separately; see Plan.Run). The observer is read at
+		// trial time through p, after SetObserver/Run has bound it.
+		cellIdx, cellKey := cs.Index, cs.Key
 		if !p.Faulted {
 			suffix := p.Spec.SuffixRounds
 			p.cells[i] = engine.Cell{
@@ -376,6 +391,7 @@ func (p *Plan) ensureEngineCells(cells []int) error {
 						CheckEvery:   1,
 						SuffixRounds: suffix,
 						Legitimate:   legit,
+						Events:       obs.Scope{Obs: p.cfg.Observer, Cell: cellIdx, Key: cellKey, Trial: trial},
 					}, res)
 				},
 			}
@@ -402,6 +418,7 @@ func (p *Plan) ensureEngineCells(cells []int) error {
 					MaxSteps:   p.cfg.MaxSteps,
 					CheckEvery: 1,
 					Legitimate: legit,
+					Events:     obs.Scope{Obs: p.cfg.Observer, Cell: cellIdx, Key: cellKey, Trial: trial},
 				}
 				plan := fault.Plan{Adversary: adv, Schedule: schedule}
 				if cell.atStart() {

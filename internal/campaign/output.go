@@ -47,14 +47,26 @@ func (o *Outcome) WriteJSONL(w io.Writer) error {
 }
 
 // Table renders the outcome as a per-cell summary table: one row per
-// owned cell, one column per selected metric. Boolean metrics report
-// the count of true trials as "t/T"; numeric metrics report the mean
-// over trials.
+// owned cell, a realized-trials column, then one column per selected
+// metric. Boolean metrics report the count of true trials as "t/T";
+// numeric metrics report the mean over trials followed by a "±ci95"
+// column holding the 95% CI half-width on that mean ("n/a" below two
+// trials, where no interval exists).
 func (o *Outcome) Table() *stats.Table {
 	spec := o.Plan.Spec
-	headers := append([]string{"cell", "key"}, spec.Metrics...)
-	title := fmt.Sprintf("campaign %s: %d cells × %d trials (seed %d)",
-		spec.Name, len(o.Plan.Cells), spec.Trials, spec.Seed)
+	headers := []string{"cell", "key", "trials"}
+	for _, name := range spec.Metrics {
+		headers = append(headers, name)
+		if m, ok := metricByName(name); ok && m.boolVal == nil {
+			headers = append(headers, "±ci95")
+		}
+	}
+	trialsDesc := fmt.Sprintf("%d trials", spec.Trials)
+	if spec.Stop.Enabled() {
+		trialsDesc = fmt.Sprintf("adaptive trials (stop %s)", spec.Stop)
+	}
+	title := fmt.Sprintf("campaign %s: %d cells × %s (seed %d)",
+		spec.Name, len(o.Plan.Cells), trialsDesc, spec.Seed)
 	if len(o.Results) != len(o.Plan.Cells) {
 		title += fmt.Sprintf(", showing %d owned cells", len(o.Results))
 	}
@@ -62,7 +74,7 @@ func (o *Outcome) Table() *stats.Table {
 	for i := range o.Results {
 		r := &o.Results[i]
 		row := make([]any, 0, len(headers))
-		row = append(row, r.Cell.Index, r.Cell.Key)
+		row = append(row, r.Cell.Index, r.Cell.Key, len(r.Records))
 		for _, name := range spec.Metrics {
 			// A hand-built Spec can carry a selector Parse would have
 			// rejected; render it as unknown rather than panicking.
@@ -71,30 +83,34 @@ func (o *Outcome) Table() *stats.Table {
 				row = append(row, "?")
 				continue
 			}
-			row = append(row, aggregate(m, r.Records))
+			if m.boolVal != nil {
+				trues := 0
+				for j := range r.Records {
+					if m.boolVal(&r.Records[j]) {
+						trues++
+					}
+				}
+				row = append(row, fmt.Sprintf("%d/%d", trues, len(r.Records)))
+				continue
+			}
+			mean, ci := aggregate(m, r.Records)
+			row = append(row, mean, ci)
 		}
 		t.AddRow(row...)
 	}
 	return t
 }
 
-// aggregate folds one metric over a cell's trials.
-func aggregate(m metricDef, records []TrialRecord) string {
-	if m.boolVal != nil {
-		trues := 0
-		for i := range records {
-			if m.boolVal(&records[i]) {
-				trues++
-			}
-		}
-		return fmt.Sprintf("%d/%d", trues, len(records))
-	}
-	sum := 0.0
+// aggregate folds one numeric metric over a cell's trials into its mean
+// and the 95% CI half-width on that mean.
+func aggregate(m metricDef, records []TrialRecord) (mean, ci string) {
+	var s stats.Stream
 	for i := range records {
-		sum += float64(m.intVal(&records[i]))
+		s.Add(float64(m.intVal(&records[i])))
 	}
-	if len(records) > 0 {
-		sum /= float64(len(records))
+	mean = strconv.FormatFloat(s.Mean(), 'f', 2, 64)
+	if s.N() < 2 {
+		return mean, "n/a"
 	}
-	return strconv.FormatFloat(sum, 'f', 2, 64)
+	return mean, strconv.FormatFloat(s.CI95Half(), 'f', 2, 64)
 }

@@ -28,6 +28,8 @@ const (
 	defaultTrials    = 5
 	defaultMaxSteps  = 1_000_000
 	maxScalarValue   = 1<<31 - 1 // trials / max-steps / suffix-rounds ceiling (fits int32)
+	defaultStopMin   = 5
+	defaultStopMax   = 100
 	maxTemplateLen   = 512
 	maxCampaignLines = 4096
 )
@@ -46,6 +48,7 @@ var keyPlaceholders = []string{
 //	seed N                      # master seed (default 2009)
 //	trials N                    # trials per cell (default 5)
 //	max-steps N                 # per-run step budget (default 1000000)
+//	stop ci:WIDTH[:MIN..MAX]    # sequential stopping (default off; MIN..MAX default 5..100)
 //	suffix-rounds N             # post-silence suffix (plain campaigns)
 //	key TEMPLATE                # cell-key template (see package doc)
 //	graph FAMILY SIZES [d=D] [p=P]   # SIZES = N | LO..HI[/STEP]
@@ -137,6 +140,19 @@ func Parse(src string) (*Spec, error) {
 				}
 				s.SuffixRounds = int(v)
 			}
+		case "stop":
+			if seen[directive] {
+				return nil, fail("duplicate directive")
+			}
+			seen[directive] = true
+			if len(args) != 1 {
+				return nil, fail("want exactly one rule (stop ci:WIDTH[:MIN..MAX])")
+			}
+			rule, err := parseStop(args[0])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			s.Stop = rule
 		case "key":
 			if seen[directive] {
 				return nil, fail("duplicate directive")
@@ -448,6 +464,36 @@ func parseAdversary(args []string) (AdversarySpec, error) {
 		return as, fmt.Errorf("missing k= fault sizes")
 	}
 	return as, nil
+}
+
+// parseStop parses a `stop` rule: ci:WIDTH or ci:WIDTH:MIN..MAX. WIDTH
+// is the target 95%-CI half-width on mean rounds-to-silence (finite,
+// > 0); MIN..MAX bounds the realized trial count (2 ≤ MIN ≤ MAX).
+func parseStop(tok string) (engine.StopRule, error) {
+	var zero engine.StopRule
+	rest, ok := strings.CutPrefix(tok, "ci:")
+	if !ok {
+		return zero, fmt.Errorf("bad rule %q (want ci:WIDTH[:MIN..MAX])", tok)
+	}
+	widthTok, rangeTok, hasRange := strings.Cut(rest, ":")
+	w, err := strconv.ParseFloat(widthTok, 64)
+	if err != nil || math.IsInf(w, 0) || math.IsNaN(w) || w <= 0 {
+		return zero, fmt.Errorf("bad CI half-width %q (want a finite value > 0)", widthTok)
+	}
+	rule := engine.StopRule{HalfWidth: w, Min: defaultStopMin, Max: defaultStopMax}
+	if hasRange {
+		loTok, hiTok, ok := strings.Cut(rangeTok, "..")
+		if !ok {
+			return zero, fmt.Errorf("bad trial bounds %q (want MIN..MAX)", rangeTok)
+		}
+		lo, err1 := strconv.Atoi(loTok)
+		hi, err2 := strconv.Atoi(hiTok)
+		if err1 != nil || err2 != nil || lo < 2 || hi < lo || hi > maxScalarValue {
+			return zero, fmt.Errorf("bad trial bounds %q (want 2 <= MIN <= MAX)", rangeTok)
+		}
+		rule.Min, rule.Max = lo, hi
+	}
+	return rule, nil
 }
 
 func knownFamily(name string) bool { return slices.Contains(engine.Families(), name) }

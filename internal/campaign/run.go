@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/rng"
 )
 
 // RunOptions configures one execution of a compiled plan.
@@ -21,6 +23,13 @@ type RunOptions struct {
 	// a grown campaign sharing cells) recomputes only what is missing.
 	// Empty disables caching.
 	CacheDir string
+	// Observer receives the run's structured events (nil: none). Cells
+	// served from the cache replay their canonical lifecycle events from
+	// the stored records — with the same trial seeds the engine would
+	// derive — so a ReplaySink's canonical log is byte-identical between
+	// cold-cache and warm-cache runs (and across Parallelism values; see
+	// internal/obs).
+	Observer obs.Observer
 }
 
 // CellResult pairs one owned cell with its per-trial records.
@@ -53,20 +62,36 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.SetObserver(opts.Observer)
 	out := &Outcome{Plan: p, Results: make([]CellResult, hi-lo)}
+	obs.Emit(opts.Observer, obs.Event{
+		Kind: obs.KindCampaignStart, Cell: -1, Key: p.Spec.Name, Trial: -1, Count: hi - lo,
+	})
 
-	// Cache pass: fill what's already known, collect the rest.
+	// Record-count bounds a cache entry must satisfy: a fixed budget is
+	// exact, an adaptive cell's realized count lands anywhere in the stop
+	// rule's bounds (the count itself round-trips as len(Records)).
+	minRecs, maxRecs := p.cfg.Trials, p.cfg.Trials
+	if p.cfg.Stop.Enabled() {
+		minRecs, maxRecs = p.cfg.Stop.Min, p.cfg.Stop.Max
+	}
+
+	// Cache pass: fill what's already known, collect the rest. Hits
+	// replay their canonical events so observers see the full campaign
+	// regardless of cache state.
 	var missing []int // owned-relative indices
 	for i := range out.Results {
 		cs := &p.Cells[lo+i]
 		out.Results[i].Cell = cs
 		if opts.CacheDir != "" {
-			if recs := loadCache(opts.CacheDir, p.cellFingerprint(cs), p.cfg.Trials); recs != nil {
+			if recs := loadCache(opts.CacheDir, p.cellFingerprint(cs), minRecs, maxRecs); recs != nil {
 				out.Results[i].Records = recs
 				out.Results[i].FromCache = true
 				out.CacheHits++
+				p.replayCell(opts.Observer, cs, recs)
 				continue
 			}
+			obs.Emit(opts.Observer, obs.Event{Kind: obs.KindCacheMiss, Cell: cs.Index, Key: cs.Key, Trial: -1})
 		}
 		out.Results[i].Records = make([]TrialRecord, 0, p.cfg.Trials)
 		missing = append(missing, i)
@@ -91,8 +116,15 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 		for j, i := range missing {
 			cells[j] = p.cells[lo+i]
 		}
+		// The engine sees only the missing sub-slice, so its lifecycle
+		// events carry sub-slice-local cell indices; remap them to the
+		// absolute campaign indices every other emitter uses.
+		runCfg := p.cfg
+		if opts.Observer != nil {
+			runCfg.Observer = remapObserver{o: opts.Observer, abs: abs}
+		}
 		if p.Faulted {
-			err = engine.RunFaultCellsReduce(p.cfg, cells, func(cell, trial int, res *core.FaultResult) error {
+			err = engine.RunFaultCellsReduce(runCfg, cells, func(cell, trial int, res *core.FaultResult) error {
 				var rec TrialRecord
 				rec.fillFault(res)
 				r := &out.Results[missing[cell]]
@@ -100,7 +132,7 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 				return nil
 			})
 		} else {
-			err = engine.RunCellsReduce(p.cfg, cells, func(cell, trial int, res *core.RunResult) error {
+			err = engine.RunCellsReduce(runCfg, cells, func(cell, trial int, res *core.RunResult) error {
 				var rec TrialRecord
 				rec.fillRun(res)
 				r := &out.Results[missing[cell]]
@@ -121,7 +153,52 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 			out.CacheMisses = len(missing)
 		}
 	}
+	obs.Emit(opts.Observer, obs.Event{
+		Kind: obs.KindCampaignFinish, Cell: -1, Key: p.Spec.Name, Trial: -1, Count: hi - lo,
+	})
 	return out, nil
+}
+
+// remapObserver translates sub-slice-local engine cell indices into
+// absolute campaign cell indices before forwarding.
+type remapObserver struct {
+	o   obs.Observer
+	abs []int // local engine index -> absolute campaign index
+}
+
+func (r remapObserver) Observe(e obs.Event) {
+	if e.Cell >= 0 && e.Cell < len(r.abs) {
+		e.Cell = r.abs[e.Cell]
+	}
+	r.o.Observe(e)
+}
+
+// replayCell emits a cached cell's canonical lifecycle events,
+// reconstructed from its stored records: the same cell-start,
+// trial-start (with the engine's exact derived seeds), trial-finish and
+// cell-finish a compute pass would emit. Diagnostic detail (silence
+// instants, episodes) is not stored, so only a KindCacheHit marks the
+// difference — and that kind never enters canonical logs.
+func (p *Plan) replayCell(o obs.Observer, cs *CellSpec, recs []TrialRecord) {
+	if o == nil {
+		return
+	}
+	obs.Emit(o, obs.Event{Kind: obs.KindCacheHit, Cell: cs.Index, Key: cs.Key, Trial: -1, Count: len(recs)})
+	obs.Emit(o, obs.Event{Kind: obs.KindCellStart, Cell: cs.Index, Key: cs.Key, Trial: -1})
+	cellSeed := rng.DeriveString(p.cfg.Seed, cs.Key)
+	for t := range recs {
+		r := &recs[t]
+		obs.Emit(o, obs.Event{
+			Kind: obs.KindTrialStart, Cell: cs.Index, Key: cs.Key, Trial: t,
+			Seed: rng.Derive(cellSeed, uint64(t)),
+		})
+		obs.Emit(o, obs.Event{
+			Kind: obs.KindTrialFinish, Cell: cs.Index, Key: cs.Key, Trial: t,
+			Silent: r.Silent, Legit: r.Legitimate,
+			Step: r.Steps, Round: r.Rounds, Count: r.Injections,
+		})
+	}
+	obs.Emit(o, obs.Event{Kind: obs.KindCellFinish, Cell: cs.Index, Key: cs.Key, Trial: -1, Count: len(recs)})
 }
 
 // shardRange returns the owned [lo, hi) cell-index range. Shards are

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 )
 
@@ -127,6 +128,12 @@ type Spec struct {
 	Trials int
 	// MaxSteps is the per-run step budget (default 1_000_000).
 	MaxSteps int
+	// Stop, when enabled, replaces the fixed Trials count with
+	// sequential stopping: each cell runs trials until the 95% CI on its
+	// mean rounds-to-silence reaches Stop.HalfWidth (bounded by
+	// Stop.Min..Stop.Max trials). The realized per-cell trial count is a
+	// deterministic function of (seed, cell) and lands in the cache.
+	Stop engine.StopRule
 	// SuffixRounds keeps each run going after silence to measure the
 	// stabilized phase (default 0; plain campaigns only).
 	SuffixRounds int
@@ -154,6 +161,9 @@ func (s *Spec) String() string {
 	fmt.Fprintf(&sb, "seed %d\n", s.Seed)
 	fmt.Fprintf(&sb, "trials %d\n", s.Trials)
 	fmt.Fprintf(&sb, "max-steps %d\n", s.MaxSteps)
+	if s.Stop.Enabled() {
+		fmt.Fprintf(&sb, "stop %s\n", s.Stop)
+	}
 	if s.SuffixRounds > 0 {
 		fmt.Fprintf(&sb, "suffix-rounds %d\n", s.SuffixRounds)
 	}

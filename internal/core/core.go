@@ -19,6 +19,7 @@ package core
 
 import (
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,10 @@ type RunOptions struct {
 	// Legitimate, when non-nil, is evaluated on the silent configuration
 	// (protocol-specific legitimacy predicate).
 	Legitimate func(*model.System, *model.Config) bool
+	// Events receives the run's diagnostic events (silence detection,
+	// fault injections, recovery episodes) tagged with the cell/trial
+	// identity the scope carries. The zero Scope is a free no-op.
+	Events obs.Scope
 }
 
 // RunResult reports one execution.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -215,6 +216,10 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 		roundsAtInjection = r.sim.Rounds()
 		fr.obs.active = true
 		res.Injections++
+		opts.Events.Emit(obs.Event{
+			Kind: obs.KindInjection, Step: ep.Step,
+			Count: ep.Faulted, Radius: ep.BallRadius,
+		})
 	}
 	closeEpisode := func(recovered bool) {
 		ep.Recovered = recovered
@@ -225,6 +230,10 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 		}
 		res.Episodes = append(res.Episodes, ep)
 		fr.obs.active = false
+		opts.Events.Emit(obs.Event{
+			Kind: obs.KindRecovery, Step: r.sim.Steps(), Round: ep.RecoveryRounds,
+			Count: ep.Faulted, Recovered: recovered, Radius: ep.Radius,
+		})
 	}
 	injectLive := func() {
 		fr.faulted = adv.Inject(sys, r.sim.Config(), fr.faulted[:0])
@@ -250,6 +259,7 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 			return err
 		}
 		if silent {
+			opts.Events.Emit(obs.Event{Kind: obs.KindSilence, Step: r.sim.Steps(), Round: r.sim.Rounds()})
 			if fr.obs.active {
 				closeEpisode(true)
 			}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/protocols/coloring"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -186,7 +187,9 @@ func TestRunFaultedMidRunOracle(t *testing.T) {
 // scheduler and adversary reset, random initial configuration,
 // recorder+simulator reset, repeated injection and recovery to silence,
 // ReportInto, final-config copy — allocates nothing beyond the amortized
-// round-boundary append.
+// round-boundary append. The trial carries a no-op event scope (which
+// the injection/recovery/silence emissions all route through), so the
+// observation plumbing is part of the 0 allocs/op contract.
 func TestFaultedTrialLoopZeroAlloc(t *testing.T) {
 	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
 	if err != nil {
@@ -203,6 +206,7 @@ func TestFaultedTrialLoopZeroAlloc(t *testing.T) {
 			Seed:       seed,
 			MaxSteps:   400000,
 			CheckEvery: 1,
+			Events:     obs.Scope{Obs: obs.Nop{}, Cell: 0, Key: "zero-alloc", Trial: int(seed)},
 		}
 		plan := fault.Plan{
 			Adversary: rn.Adversary("uniform/3", func() fault.Adversary { return fault.NewUniform(3) }),

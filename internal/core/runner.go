@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -112,6 +113,9 @@ func (r *Runner) Run(sys *model.System, opts RunOptions, res *RunResult) error {
 	silent, err := r.sim.RunUntilSilent(opts.MaxSteps, checkEvery)
 	if err != nil {
 		return err
+	}
+	if silent {
+		opts.Events.Emit(obs.Event{Kind: obs.KindSilence, Step: r.sim.Steps(), Round: r.sim.Rounds()})
 	}
 	res.Silent = silent
 	res.StepsToSilence = r.sim.Steps()

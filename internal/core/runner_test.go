@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/protocols/coloring"
 	"repro/internal/protocols/mis"
 	"repro/internal/rng"
@@ -133,7 +134,8 @@ func TestRunnerResultsDoNotAliasRunner(t *testing.T) {
 // steady-state pooled trial — scheduler reset, random initial
 // configuration, recorder+simulator reset, run to silence, suffix
 // recording, ReportInto, final-config copy — allocates nothing beyond
-// the amortized round-boundary append.
+// the amortized round-boundary append. The trial carries a no-op event
+// scope: observation plumbing is part of the 0 allocs/op contract.
 func TestTrialLoopZeroAlloc(t *testing.T) {
 	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
 	if err != nil {
@@ -151,6 +153,7 @@ func TestTrialLoopZeroAlloc(t *testing.T) {
 			MaxSteps:     200000,
 			CheckEvery:   1,
 			SuffixRounds: 2,
+			Events:       obs.Scope{Obs: obs.Nop{}, Cell: 0, Key: "zero-alloc", Trial: int(seed)},
 		}
 		if err := rn.RunRandom(sys, opts, &res); err != nil {
 			t.Fatal(err)

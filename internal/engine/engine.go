@@ -24,19 +24,80 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/stats"
 )
+
+// StopRule is the sequential trial-stopping criterion of the streaming
+// fold paths: instead of a fixed Config.Trials budget, a cell keeps
+// running trials until the normal-approximation 95% confidence interval
+// on its mean rounds-to-silence is at most HalfWidth wide (half-width),
+// bounded below by Min and above by Max trials. Low-variance cells stop
+// early; a cell whose interval never tightens runs exactly Max trials.
+// Trials that exhaust the step budget fold their censored round count
+// like any other observation, so a diverging cell cannot stall the rule.
+//
+// Determinism: the realized trial count is a pure function of the trial
+// result stream, which is itself a pure function of (seed, cell key) —
+// so adaptive runs stay byte-identical across Parallelism values. The
+// rule applies only to the cell-affine fold paths (RunCellsReduce,
+// RunFaultCellsReduce); RunCells always materializes the fixed budget.
+type StopRule struct {
+	// HalfWidth > 0 enables the rule: the target half-width of the 95%
+	// CI on mean rounds-to-silence.
+	HalfWidth float64
+	// Min and Max bound the realized trial count. WithDefaults clamps
+	// Min to at least 2 (no interval exists before the second trial)
+	// and Max to at least Min.
+	Min, Max int
+}
+
+// Enabled reports whether sequential stopping is active.
+func (s StopRule) Enabled() bool { return s.HalfWidth > 0 }
+
+// String renders the canonical form, "ci:HALFWIDTH:MIN..MAX" (used by
+// the campaign DSL and the cache fingerprint); the zero rule is "none".
+func (s StopRule) String() string {
+	if !s.Enabled() {
+		return "none"
+	}
+	return "ci:" + strconv.FormatFloat(s.HalfWidth, 'g', -1, 64) +
+		":" + strconv.Itoa(s.Min) + ".." + strconv.Itoa(s.Max)
+}
+
+// withDefaults normalizes an enabled rule's bounds.
+func (s StopRule) withDefaults() StopRule {
+	if !s.Enabled() {
+		return StopRule{}
+	}
+	if s.Min < 2 {
+		s.Min = 2
+	}
+	if s.Max < s.Min {
+		s.Max = s.Min
+	}
+	return s
+}
+
+// done reports whether a cell may stop after n trials whose
+// rounds-to-silence stream is cs.
+func (s StopRule) done(n int, cs *stats.Stream) bool {
+	return n >= s.Min && (n >= s.Max || cs.CI95Half() <= s.HalfWidth)
+}
 
 // Config scales a trial run.
 type Config struct {
 	// Seed drives all randomness.
 	Seed uint64
 	// Trials is the number of adversarial initial configurations per
-	// cell (default 5).
+	// cell (default 5). The fold paths run fewer under an enabled Stop
+	// rule (which replaces the fixed budget with its Min..Max bounds).
 	Trials int
 	// MaxSteps is the per-run step budget (default 1_000_000).
 	MaxSteps int
@@ -44,6 +105,17 @@ type Config struct {
 	// (default runtime.GOMAXPROCS(0)). Results are identical for every
 	// value; see the package documentation.
 	Parallelism int
+	// Observer receives structured run events (nil: no observation, the
+	// free default). The cell-affine fold paths emit cell-start,
+	// trial-start, trial-finish and cell-finish; core-level events
+	// (silence, injections, recovery episodes) are emitted by the trial
+	// closures that thread an obs.Scope into core.RunOptions.Events.
+	// RunCells (trial-parallel, not cell-affine) emits no events: its
+	// interleaving would make per-cell event order scheduling-dependent.
+	Observer obs.Observer
+	// Stop, when enabled, replaces the fixed Trials budget on the fold
+	// paths with sequential stopping; see StopRule.
+	Stop StopRule
 }
 
 // WithDefaults fills unset fields with the engine defaults.
@@ -57,6 +129,7 @@ func (c Config) WithDefaults() Config {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	c.Stop = c.Stop.withDefaults()
 	return c
 }
 
@@ -134,9 +207,13 @@ func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
 	return out, nil
 }
 
-// RunCellsReduce executes cfg.Trials trials of every cell and streams
-// every result through fold instead of materializing the grid: memory
-// stays O(cells + workers) instead of O(cells × trials × n).
+// RunCellsReduce executes cfg.Trials trials of every cell (or an
+// adaptive count under an enabled cfg.Stop rule) and streams every
+// result through fold instead of materializing the grid: memory stays
+// O(cells + workers) instead of O(cells × trials × n). When
+// cfg.Observer is set, the loop emits cell-start / trial-start /
+// trial-finish / cell-finish events, all from the one worker that owns
+// the cell, in trial order.
 //
 // Scheduling is cell-affine — one worker owns all trials of a cell,
 // running them in trial order on its reusable Runner with exactly the
@@ -162,15 +239,35 @@ func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *co
 	}
 	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
 		func(w *wctx, i int) error {
-			for trial := 0; trial < cfg.Trials; trial++ {
-				res, err := cells[i].runTrial(w.rn, trial, rng.Derive(cellSeeds[i], uint64(trial)), &w.res)
+			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: i, Key: cells[i].Key, Trial: -1})
+			budget := cfg.Trials
+			if cfg.Stop.Enabled() {
+				budget = cfg.Stop.Max
+			}
+			var rounds stats.Stream
+			realized := 0
+			for trial := 0; trial < budget; trial++ {
+				seed := rng.Derive(cellSeeds[i], uint64(trial))
+				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialStart, Cell: i, Key: cells[i].Key, Trial: trial, Seed: seed})
+				res, err := cells[i].runTrial(w.rn, trial, seed, &w.res)
 				if err != nil {
 					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
 				}
+				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialFinish, Cell: i, Key: cells[i].Key, Trial: trial,
+					Silent: res.Silent, Legit: res.LegitimateAtSilence,
+					Step: res.StepsToSilence, Round: res.RoundsToSilence})
 				if err := fold(i, trial, res); err != nil {
 					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
 				}
+				realized = trial + 1
+				if cfg.Stop.Enabled() {
+					rounds.Add(float64(res.RoundsToSilence))
+					if cfg.Stop.done(realized, &rounds) {
+						break
+					}
+				}
 			}
+			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: i, Key: cells[i].Key, Trial: -1, Count: realized})
 			return nil
 		})
 }
@@ -178,9 +275,10 @@ func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *co
 // RunFaultCellsReduce is RunCellsReduce for injected trials: every cell
 // must set RunFaultOn, and every result — the final run outcome plus the
 // per-injection recovery episodes — streams through fold. Scheduling,
-// trial seeds, cell affinity and the fold's ordering/concurrency
-// contract are exactly RunCellsReduce's; res (including res.Episodes) is
-// a worker-owned buffer valid only for the duration of the call.
+// trial seeds, cell affinity, sequential stopping, events and the
+// fold's ordering/concurrency contract are exactly RunCellsReduce's;
+// res (including res.Episodes) is a worker-owned buffer valid only for
+// the duration of the call.
 func RunFaultCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.FaultResult) error) error {
 	cfg = cfg.WithDefaults()
 	cellSeeds := cellSeedsFor(cfg, cells)
@@ -193,15 +291,34 @@ func RunFaultCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, re
 			if cells[i].RunFaultOn == nil {
 				return fmt.Errorf("cell %q has no RunFaultOn", cells[i].Key)
 			}
-			for trial := 0; trial < cfg.Trials; trial++ {
+			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: i, Key: cells[i].Key, Trial: -1})
+			budget := cfg.Trials
+			if cfg.Stop.Enabled() {
+				budget = cfg.Stop.Max
+			}
+			var rounds stats.Stream
+			realized := 0
+			for trial := 0; trial < budget; trial++ {
 				seed := rng.Derive(cellSeeds[i], uint64(trial))
+				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialStart, Cell: i, Key: cells[i].Key, Trial: trial, Seed: seed})
 				if err := cells[i].RunFaultOn(w.rn, trial, seed, &w.res); err != nil {
 					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
 				}
+				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialFinish, Cell: i, Key: cells[i].Key, Trial: trial,
+					Silent: w.res.Silent, Legit: w.res.LegitimateAtSilence,
+					Step: w.res.StepsToSilence, Round: w.res.RoundsToSilence, Count: w.res.Injections})
 				if err := fold(i, trial, &w.res); err != nil {
 					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
 				}
+				realized = trial + 1
+				if cfg.Stop.Enabled() {
+					rounds.Add(float64(w.res.RoundsToSilence))
+					if cfg.Stop.done(realized, &rounds) {
+						break
+					}
+				}
 			}
+			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: i, Key: cells[i].Key, Trial: -1, Count: realized})
 			return nil
 		})
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -47,8 +48,10 @@ func ProtoCells(cfg Config, specs []ProtoCell) ([]Cell, error) {
 			mkSched, schedName = DefaultSched, DefaultSchedName
 		}
 		suffix := sp.SuffixRounds
+		key := fmt.Sprintf("%s|%s|%s|%d", sp.Graph.Name(), sp.Family, schedName, suffix)
+		cellIdx := i
 		cells[i] = Cell{
-			Key: fmt.Sprintf("%s|%s|%s|%d", sp.Graph.Name(), sp.Family, schedName, suffix),
+			Key: key,
 			RunOn: func(rn *core.Runner, trial int, seed uint64, res *core.RunResult) error {
 				return rn.RunRandom(sys, core.RunOptions{
 					Scheduler:    rn.Scheduler(schedName, seed, mkSched),
@@ -57,6 +60,7 @@ func ProtoCells(cfg Config, specs []ProtoCell) ([]Cell, error) {
 					CheckEvery:   1,
 					SuffixRounds: suffix,
 					Legitimate:   legit,
+					Events:       obs.Scope{Obs: cfg.Observer, Cell: cellIdx, Key: key, Trial: trial},
 				}, res)
 			},
 		}
@@ -97,6 +101,9 @@ func RunProtoCellsReduce(cfg Config, specs []ProtoCell, fold func(cell, trial in
 // (graph, family) sees the same configuration regardless of how the
 // warm-ups are batched.
 func SilentSnapshots(cfg Config, specs []ProtoCell) ([]*model.Config, error) {
+	// Warm-ups are infrastructure, not measured trials: they never emit
+	// events, so an observed campaign's log covers exactly its own cells.
+	cfg.Observer = nil
 	res, err := RunProtoCells(cfg, specs)
 	if err != nil {
 		return nil, err

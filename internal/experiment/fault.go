@@ -209,6 +209,7 @@ func compileCampaign(cfg Config, src string, want *graph.Graph) (*campaign.Plan,
 	if err != nil {
 		return nil, err
 	}
+	plan.SetObserver(cfg.Observer)
 	if want != nil && len(plan.Cells) > 0 {
 		got := plan.Cells[0].Graph
 		if got.Name() != want.Name() || got.N() != want.N() {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -42,6 +43,9 @@ type Config struct {
 	// (default runtime.GOMAXPROCS(0)). Results are identical for every
 	// value; see the package documentation.
 	Parallelism int
+	// Observer receives the structured run events of every experiment's
+	// trial loops (nil: none; see internal/obs).
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {

@@ -27,6 +27,7 @@ func (c Config) engineConfig() engine.Config {
 		Trials:      c.Trials,
 		MaxSteps:    c.MaxSteps,
 		Parallelism: c.Parallelism,
+		Observer:    c.Observer,
 	}
 }
 

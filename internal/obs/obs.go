@@ -1,0 +1,198 @@
+// Package obs is the structured run-telemetry layer of the simulator: a
+// pluggable, allocation-conscious observer interface that the trial
+// engine (internal/engine), the trial runner (internal/core) and the
+// campaign executor (internal/campaign) emit events into — trial and
+// cell lifecycle, cache hits and misses, fault injections, per-episode
+// recovery and silence detection.
+//
+// The design follows the DEVS view of a discrete-event simulator: the
+// event stream itself is the model's observable output, so events are
+// plain data (one flat Event struct, no callbacks-with-context), sinks
+// are interchangeable, and the default is no observation at all.
+//
+// Allocation contract: Event is a value; emitting one through an
+// Observer interface never heap-allocates, so the engine's steady-state
+// trial loop stays at 0 allocs/op under a no-op observer (asserted by
+// the zero-alloc tests in internal/core). Sinks that retain events
+// (ReplaySink) allocate on their own side.
+//
+// Determinism contract: events of one engine cell are emitted by one
+// worker in trial order (the cell-affine fold paths), campaign-level
+// and cache events by the coordinating goroutine. The ReplaySink's
+// canonical encoding orders events by cell index, assigns monotonic
+// sequence numbers at flush, and contains no wall-clock time — for a
+// fixed seed the canonical log is byte-identical across parallelism
+// values and across cold-cache vs warm-cache runs (cache hits replay
+// their cells' canonical events from the stored records). Sinks must be
+// safe for concurrent use: workers of different cells emit concurrently.
+package obs
+
+// Kind identifies an event's type.
+type Kind uint8
+
+const (
+	// KindCampaignStart opens a campaign run. Key is the campaign name,
+	// Count the number of owned cells, Cell/Trial are -1.
+	KindCampaignStart Kind = 1 + iota
+	// KindCampaignFinish closes a campaign run; fields as KindCampaignStart.
+	KindCampaignFinish
+	// KindCellStart opens one cell's trial sequence (Trial is -1).
+	KindCellStart
+	// KindCellFinish closes a cell; Count is the realized trial count
+	// (== the fixed trial budget, or fewer under sequential stopping).
+	KindCellFinish
+	// KindCacheHit reports a cell served from the content-addressed
+	// cache (diagnostic: a warm run replays the cell's canonical events
+	// from the cached records instead).
+	KindCacheHit
+	// KindCacheMiss reports a cell about to be computed and stored.
+	KindCacheMiss
+	// KindTrialStart opens one trial; Seed is the derived trial seed.
+	KindTrialStart
+	// KindTrialFinish closes a trial: Silent/Legit are the outcome,
+	// Step/Round the steps/rounds to silence, Count the injection count
+	// (0 for plain trials).
+	KindTrialFinish
+	// KindSilence marks a silence detection at Step/Round (diagnostic;
+	// injected trials emit one per re-silenced episode).
+	KindSilence
+	// KindInjection marks a fault injection: Step is the instant, Count
+	// the number of corrupted processes, Radius the fault ball's own
+	// radius when the adversary reports one (-1 otherwise).
+	KindInjection
+	// KindRecovery closes a recovery episode: Recovered is the verdict,
+	// Round the episode's recovery rounds, Count the faulted-set size,
+	// Radius the containment radius, Step the closing instant.
+	KindRecovery
+)
+
+var kindNames = [...]string{
+	KindCampaignStart:  "campaign-start",
+	KindCampaignFinish: "campaign-finish",
+	KindCellStart:      "cell-start",
+	KindCellFinish:     "cell-finish",
+	KindCacheHit:       "cache-hit",
+	KindCacheMiss:      "cache-miss",
+	KindTrialStart:     "trial-start",
+	KindTrialFinish:    "trial-finish",
+	KindSilence:        "silence",
+	KindInjection:      "injection",
+	KindRecovery:       "recovery",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Canonical reports whether the kind is part of the canonical replay
+// encoding: the cache-independent projection of the event stream, a
+// pure function of (spec, seed) that is byte-identical whether a cell
+// was computed or served from cache. Execution-detail kinds (cache
+// hit/miss, silence instants, injections, recovery episodes) are
+// diagnostic: they flow to logging sinks but not into canonical logs.
+func (k Kind) Canonical() bool {
+	switch k {
+	case KindCampaignStart, KindCampaignFinish, KindCellStart,
+		KindCellFinish, KindTrialStart, KindTrialFinish:
+		return true
+	}
+	return false
+}
+
+// Event is one structured occurrence. It is a flat value — every field
+// is a scalar or a string header — so emission through the Observer
+// interface stays allocation-free. Field meaning is Kind-specific; see
+// the Kind constants.
+type Event struct {
+	Kind Kind
+	// Cell is the engine/campaign cell index (-1 for campaign-level
+	// events). Key is the cell key (the campaign name on campaign-level
+	// events). Trial is the trial index (-1 outside trials).
+	Cell  int
+	Key   string
+	Trial int
+	// Seed is the derived trial seed (KindTrialStart).
+	Seed uint64
+	// Step and Round are the simulator's counters at the instant.
+	Step  int
+	Round int
+	// Count is the Kind-specific cardinality (cells, trials, corrupted
+	// processes).
+	Count int
+	// Silent and Legit are the trial outcome (KindTrialFinish).
+	Silent bool
+	Legit  bool
+	// Recovered is the episode verdict (KindRecovery).
+	Recovered bool
+	// Radius is the containment or fault-ball radius (-1: not reported).
+	Radius int
+}
+
+// Observer receives events. Implementations must be safe for concurrent
+// use: the trial pool emits events of different cells from different
+// worker goroutines (events of one cell always arrive from one
+// goroutine, in order).
+type Observer interface {
+	Observe(e Event)
+}
+
+// Emit sends e to o; a nil Observer is the free no-op default.
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.Observe(e)
+	}
+}
+
+// Nop is the explicit no-op Observer: observation plumbing with zero
+// effect (and zero allocation).
+type Nop struct{}
+
+func (Nop) Observe(Event) {}
+
+// Scope tags core-level events with the cell/trial identity the engine
+// knows but the runner does not. The zero Scope is a no-op.
+type Scope struct {
+	Obs   Observer
+	Cell  int
+	Key   string
+	Trial int
+}
+
+// Emit fills e's identity fields from the scope and forwards it.
+func (s Scope) Emit(e Event) {
+	if s.Obs == nil {
+		return
+	}
+	e.Cell, e.Key, e.Trial = s.Cell, s.Key, s.Trial
+	s.Obs.Observe(e)
+}
+
+// tee fans events out to multiple sinks, in order.
+type tee []Observer
+
+func (t tee) Observe(e Event) {
+	for _, o := range t {
+		o.Observe(e)
+	}
+}
+
+// Tee combines sinks: events go to each non-nil sink in argument order.
+// Zero or one effective sink collapses to nil or the sink itself.
+func Tee(sinks ...Observer) Observer {
+	var out tee
+	for _, o := range sinks {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

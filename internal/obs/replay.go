@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ReplaySink collects the canonical (cache-independent) events of a run
+// and writes them as a deterministic JSONL log: one object per event,
+// ordered campaign-start → cells in ascending index (each cell's events
+// in emission order) → campaign-finish, with monotonic sequence numbers
+// assigned at write time and no wall-clock anywhere in the encoding.
+//
+// For a fixed seed the written bytes are identical across parallelism
+// values (cell buckets are filled by exactly one worker each, the flush
+// order is index-sorted) and across cold/warm cache states (the
+// campaign executor replays cached cells' canonical events from their
+// stored records). Diagnostic kinds (Kind.Canonical() == false) are
+// dropped; route them to a logging sink via Tee if wanted.
+type ReplaySink struct {
+	mu       sync.Mutex
+	preRun   []Event         // campaign-level events before any cell (Cell < 0)
+	postRun  []Event         // campaign-level finish events
+	cells    map[int][]Event // per-cell buckets, emission order
+	nonCanon int             // diagnostic events seen and dropped
+}
+
+// NewReplaySink returns an empty sink ready to observe.
+func NewReplaySink() *ReplaySink {
+	return &ReplaySink{cells: make(map[int][]Event)}
+}
+
+// Observe buffers canonical events; diagnostic events are counted and
+// dropped. Safe for concurrent use.
+func (s *ReplaySink) Observe(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !e.Kind.Canonical() {
+		s.nonCanon++
+		return
+	}
+	if e.Cell < 0 {
+		if e.Kind == KindCampaignFinish {
+			s.postRun = append(s.postRun, e)
+		} else {
+			s.preRun = append(s.preRun, e)
+		}
+		return
+	}
+	s.cells[e.Cell] = append(s.cells[e.Cell], e)
+}
+
+// Events returns the number of buffered canonical events.
+func (s *ReplaySink) Events() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.preRun) + len(s.postRun)
+	for _, evs := range s.cells {
+		n += len(evs)
+	}
+	return n
+}
+
+// WriteCanonical writes the canonical log. The sink stays intact (a
+// second call produces the same bytes).
+func (s *ReplaySink) WriteCanonical(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	idx := make([]int, 0, len(s.cells))
+	for c := range s.cells {
+		idx = append(idx, c)
+	}
+	sort.Ints(idx)
+	seq := 0
+	var buf []byte
+	emit := func(e Event) error {
+		buf = appendCanonical(buf[:0], seq, e)
+		seq++
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, e := range s.preRun {
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	for _, c := range idx {
+		for _, e := range s.cells[c] {
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range s.postRun {
+		if err := emit(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendCanonical renders one event with a fixed field order per kind.
+// Only determinism-carrying fields are encoded: no timestamps, no
+// host/goroutine identity.
+func appendCanonical(buf []byte, seq int, e Event) []byte {
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendInt(buf, int64(seq), 10)
+	buf = append(buf, `,"ev":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, '"')
+	switch e.Kind {
+	case KindCampaignStart, KindCampaignFinish:
+		buf = appendKey(buf, e.Key)
+		buf = append(buf, `,"cells":`...)
+		buf = strconv.AppendInt(buf, int64(e.Count), 10)
+	case KindCellStart:
+		buf = appendCell(buf, e.Cell)
+		buf = appendKey(buf, e.Key)
+	case KindCellFinish:
+		buf = appendCell(buf, e.Cell)
+		buf = appendKey(buf, e.Key)
+		buf = append(buf, `,"trials":`...)
+		buf = strconv.AppendInt(buf, int64(e.Count), 10)
+	case KindTrialStart:
+		buf = appendCell(buf, e.Cell)
+		buf = append(buf, `,"trial":`...)
+		buf = strconv.AppendInt(buf, int64(e.Trial), 10)
+		buf = append(buf, `,"seed":`...)
+		buf = strconv.AppendUint(buf, e.Seed, 10)
+	case KindTrialFinish:
+		buf = appendCell(buf, e.Cell)
+		buf = append(buf, `,"trial":`...)
+		buf = strconv.AppendInt(buf, int64(e.Trial), 10)
+		buf = append(buf, `,"silent":`...)
+		buf = strconv.AppendBool(buf, e.Silent)
+		buf = append(buf, `,"legit":`...)
+		buf = strconv.AppendBool(buf, e.Legit)
+		buf = append(buf, `,"steps":`...)
+		buf = strconv.AppendInt(buf, int64(e.Step), 10)
+		buf = append(buf, `,"rounds":`...)
+		buf = strconv.AppendInt(buf, int64(e.Round), 10)
+		buf = append(buf, `,"injections":`...)
+		buf = strconv.AppendInt(buf, int64(e.Count), 10)
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+func appendCell(buf []byte, cell int) []byte {
+	buf = append(buf, `,"cell":`...)
+	return strconv.AppendInt(buf, int64(cell), 10)
+}
+
+// appendKey appends a `,"key":"..."` member with proper JSON escaping
+// (cell keys embed template-provided text; Go quoting is not JSON).
+func appendKey(buf []byte, key string) []byte {
+	buf = append(buf, `,"key":`...)
+	quoted, err := json.Marshal(key)
+	if err != nil {
+		// A Go string always marshals; keep the signature append-only.
+		panic(fmt.Sprintf("obs: marshal key: %v", err))
+	}
+	return append(buf, quoted...)
+}
