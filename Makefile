@@ -27,7 +27,7 @@ test-full: ## Full (non-short) suite: what the tier-1 verify runs
 	$(GO) test -timeout 20m ./...
 
 bench: ## Run every benchmark once (compile + smoke)
-	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model ./internal/core ./internal/trace ./internal/fault
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . ./internal/model ./internal/core ./internal/trace ./internal/fault ./internal/graph
 
 # Static analysis beyond go vet, plus the vulnerability scanner over the
 # dependency graph (trivial here: the module is stdlib-only, so the scan
@@ -52,6 +52,7 @@ fuzz-smoke: ## Short native fuzz pass over the fuzz targets
 	$(GO) test ./internal/graph -fuzz FuzzGraphEncodingRoundTrip -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/rng -fuzz FuzzAppendSubsetNonEmpty -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/campaign -fuzz FuzzParseCampaign -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/fault -fuzz FuzzParseChurn -fuzztime $(FUZZTIME) -run '^$$'
 
 # Campaign smoke: run the bundled quickstart campaign twice against one
 # cache directory; the second run must be 100% cache hits and both runs
@@ -69,7 +70,14 @@ campaign-smoke: ## Quickstart campaign twice: resume contract end to end
 	cmp $(CAMPAIGN_SMOKE_DIR)/table1.txt $(CAMPAIGN_SMOKE_DIR)/table2.txt
 	grep -q ', cache 0 hits' $(CAMPAIGN_SMOKE_DIR)/status1.txt
 	grep -Eq ', cache [1-9][0-9]* hits, 0 misses' $(CAMPAIGN_SMOKE_DIR)/status2.txt
-	@echo "campaign smoke OK: byte-identical output, second run fully cached"
+	$(GO) run ./cmd/sscampaign -cache $(CAMPAIGN_SMOKE_DIR)/cache -jsonl $(CAMPAIGN_SMOKE_DIR)/churn1.jsonl \
+		examples/campaigns/churn.campaign > $(CAMPAIGN_SMOKE_DIR)/churn-table1.txt 2> $(CAMPAIGN_SMOKE_DIR)/churn-status1.txt
+	$(GO) run ./cmd/sscampaign -cache $(CAMPAIGN_SMOKE_DIR)/cache -jsonl $(CAMPAIGN_SMOKE_DIR)/churn2.jsonl \
+		examples/campaigns/churn.campaign > $(CAMPAIGN_SMOKE_DIR)/churn-table2.txt 2> $(CAMPAIGN_SMOKE_DIR)/churn-status2.txt
+	cmp $(CAMPAIGN_SMOKE_DIR)/churn1.jsonl $(CAMPAIGN_SMOKE_DIR)/churn2.jsonl
+	cmp $(CAMPAIGN_SMOKE_DIR)/churn-table1.txt $(CAMPAIGN_SMOKE_DIR)/churn-table2.txt
+	grep -Eq ', cache [1-9][0-9]* hits, 0 misses' $(CAMPAIGN_SMOKE_DIR)/churn-status2.txt
+	@echo "campaign smoke OK: byte-identical output, second runs fully cached (churn included)"
 
 # Events smoke: the end-to-end proof of the canonical event log's
 # determinism contract (internal/obs). The quickstart campaign runs
@@ -91,38 +99,48 @@ events-smoke: ## Event-log byte-identity across parallelism and cache state
 	cmp $(EVENTS_SMOKE_DIR)/cold.events $(EVENTS_SMOKE_DIR)/p4.events
 	cmp $(EVENTS_SMOKE_DIR)/cold.events $(EVENTS_SMOKE_DIR)/warm.events
 	grep -Eq ', cache [1-9][0-9]* hits, 0 misses' $(EVENTS_SMOKE_DIR)/status3.txt
+	$(GO) run ./cmd/sscampaign -parallelism 1 -cache $(EVENTS_SMOKE_DIR)/churn-cache -events $(EVENTS_SMOKE_DIR)/churn-cold.events \
+		examples/campaigns/churn.campaign > /dev/null 2> $(EVENTS_SMOKE_DIR)/churn-status1.txt
+	$(GO) run ./cmd/sscampaign -parallelism 4 -cache $(EVENTS_SMOKE_DIR)/churn-cache -events $(EVENTS_SMOKE_DIR)/churn-warm.events \
+		examples/campaigns/churn.campaign > /dev/null 2> $(EVENTS_SMOKE_DIR)/churn-status2.txt
+	cmp $(EVENTS_SMOKE_DIR)/churn-cold.events $(EVENTS_SMOKE_DIR)/churn-warm.events
+	grep -Eq ', cache [1-9][0-9]* hits, 0 misses' $(EVENTS_SMOKE_DIR)/churn-status2.txt
 	$(GO) test ./internal/experiment -run TestGoldenEvents
-	@echo "events smoke OK: logs byte-identical across parallelism 1/4 and cold/warm cache"
+	@echo "events smoke OK: logs byte-identical across parallelism 1/4 and cold/warm cache (churn included)"
 
 # Machine-readable perf trajectory: run the engine core benchmarks (step
-# engine, enabled tracker, trial pipeline, recorder) and record
-# (name, ns/op, allocs/op) in BENCH_3.json. The committed copy is the
-# canonical baseline for this PR's engine (numbers are machine-specific —
-# regenerate locally only to compare shapes, not to commit); CI uploads a
-# fresh run as an artifact on every push. Bump the N in the filename when
-# a later PR resets the baseline.
-BENCH_CORE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkSimulatorStep|BenchmarkTrialLoop|BenchmarkRecorderReadFullStep'
-BENCH_PKGS = ./internal/model ./internal/core ./internal/trace .
-bench-json: ## Record the core-benchmark baseline as BENCH_3.json
+# engine, enabled tracker, trial pipeline, recorder, and the dynamic-
+# topology hot path: graph mutation, topology step, churn trial loop) and
+# record (name, ns/op, allocs/op) in BENCH_4.json. The committed copy is
+# the canonical baseline for this PR's engine (numbers are machine-
+# specific — regenerate locally only to compare shapes, not to commit);
+# CI uploads a fresh run as an artifact on every push. Bump the N in the
+# filename when a later PR resets the baseline.
+BENCH_CORE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkSimulatorStep|BenchmarkTrialLoop|BenchmarkRecorderReadFullStep|BenchmarkGraphMutation|BenchmarkTopologyStep|BenchmarkChurnTrialLoop'
+BENCH_PKGS = ./internal/model ./internal/core ./internal/trace ./internal/graph .
+bench-json: ## Record the core-benchmark baseline as BENCH_4.json
 	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson > BENCH_3.json
-	@echo wrote BENCH_3.json
+		| $(GO) run ./cmd/benchjson > BENCH_4.json
+	@echo wrote BENCH_4.json
 
 # Regression gates (benchjson -diff): fail on >25% ns/op regressions or
-# any allocs/op growth in the model/trace microbenchmarks (the trial-loop
-# and experiment benches run whole executions and are too noisy to gate).
-BENCH_GATE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkRecorderReadFullStep'
+# any allocs/op growth in the model/trace/graph microbenchmarks (the
+# trial-loop, churn-trial-loop and experiment benches run whole
+# executions and are too noisy to gate on ns/op).
+BENCH_GATE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkRecorderReadFullStep|BenchmarkGraphMutation|BenchmarkTopologyStep'
 
 bench-diff: ## Fresh local benchmark run vs the committed baseline
 	$(GO) test -bench=$(BENCH_CORE) -benchmem -run='^$$' $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > /tmp/bench-head.json
-	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_3.json /tmp/bench-head.json
+	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_4.json /tmp/bench-head.json
 
 # bench-diff-committed: committed previous baseline vs committed current
-# baseline — both measured on the same machine, so the gate is
-# deterministic. CI runs this on every push.
+# baseline — both measured on the same machine class, so the gate is
+# deterministic. CI runs this on every push. Benchmarks new in BENCH_4
+# (the dynamic-topology path) have no BENCH_3 counterpart and are
+# reported without gating.
 bench-diff-committed: ## Committed previous vs current baseline (deterministic)
-	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_2.json BENCH_3.json
+	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_3.json BENCH_4.json
 
 fmt: ## Fail if any file needs gofmt
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -1,7 +1,8 @@
-// Command ssbench regenerates the paper's experiment tables (E1-E18, see
+// Command ssbench regenerates the paper's experiment tables (E1-E21, see
 // DESIGN.md for the artifact index; E16-E18 exercise the adversary
-// subsystem of internal/fault). Every table reports measured data plus a
-// PASS/FAIL verdict against the corresponding paper claim.
+// subsystem of internal/fault, E19-E21 the dynamic-topology churn axis).
+// Every table reports measured data plus a PASS/FAIL verdict against the
+// corresponding paper claim.
 //
 // Usage:
 //
@@ -22,6 +23,14 @@
 //	ssbench -adversary uniform -faults 2 -inject on-silence:3
 //	ssbench -adversary comm -inject every:200:4
 //
+// A custom dynamic-topology scenario is selected with -churn (shape, or
+// shape:k); -churn-inject schedules the topology mutations, and -churn
+// composes with -adversary for simultaneous state-and-topology faults:
+//
+//	ssbench -churn rewire:2                              # rewire 2 edges at each silence
+//	ssbench -churn cut -churn-inject every:500:2
+//	ssbench -churn crashjoin:3 -adversary uniform -inject on-silence:2
+//
 // Trials run on the parallel sharded pool of internal/experiment; for a
 // fixed -seed the tables are byte-identical for every -parallelism.
 package main
@@ -32,6 +41,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +72,8 @@ func run(args []string, out io.Writer) error {
 		adversary   = fs.String("adversary", "", fmt.Sprintf("run a custom fault scenario with this adversary instead of the registry (one of %v)", fault.Names()))
 		faults      = fs.Int("faults", 2, "fault size k for -adversary (processes corrupted per injection)")
 		inject      = fs.String("inject", "at-start", "injection schedule for -adversary: at-start | at-step:T | every:T[:N] | on-silence[:N]")
+		churn       = fs.String("churn", "", fmt.Sprintf("run a custom dynamic-topology scenario with this churn shape, as NAME or NAME:K (one of %v; composes with -adversary)", fault.ChurnNames()))
+		churnInject = fs.String("churn-inject", "on-silence:2", "mutation schedule for -churn: at-start | at-step:T | every:T[:N] | on-silence[:N]")
 		eventsPath  = fs.String("events", "", "write the canonical deterministic event log to this file")
 		logLevel    = fs.String("log-level", "off", "live slog JSON events on stderr: off, info (cell granularity) or debug (every trial)")
 	)
@@ -79,8 +91,11 @@ func run(args []string, out io.Writer) error {
 	if *adversary == "" && (set["inject"] || set["faults"]) {
 		return fmt.Errorf("-inject and -faults only apply to a custom fault scenario: pass -adversary too")
 	}
-	if *adversary != "" && set["run"] {
-		return fmt.Errorf("-adversary runs a custom scenario instead of the registry: drop -run (or drop -adversary)")
+	if *churn == "" && set["churn-inject"] {
+		return fmt.Errorf("-churn-inject only applies to a custom churn scenario: pass -churn too")
+	}
+	if (*adversary != "" || *churn != "") && set["run"] {
+		return fmt.Errorf("-adversary and -churn run a custom scenario instead of the registry: drop -run (or drop them)")
 	}
 
 	ids := experiment.IDs()
@@ -121,7 +136,26 @@ func run(args []string, out io.Writer) error {
 		run experiment.Runner
 	}
 	var jobs []job
-	if *adversary != "" {
+	if *churn != "" {
+		churnName, churnK, err := parseChurnFlag(*churn)
+		if err != nil {
+			return err
+		}
+		churnSchedule, err := fault.ParseSchedule(*churnInject)
+		if err != nil {
+			return err
+		}
+		advName, advK := *adversary, *faults
+		var advSchedule fault.Schedule
+		if advName != "" {
+			if advSchedule, err = fault.ParseSchedule(*inject); err != nil {
+				return err
+			}
+		}
+		jobs = append(jobs, job{id: "EX", run: func(c experiment.Config) (*experiment.Result, error) {
+			return experiment.CustomChurn(c, churnName, churnK, churnSchedule, advName, advK, advSchedule)
+		}})
+	} else if *adversary != "" {
 		schedule, err := fault.ParseSchedule(*inject)
 		if err != nil {
 			return err
@@ -188,6 +222,24 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("some experiments FAILED their paper-claim checks")
 	}
 	return nil
+}
+
+// parseChurnFlag splits a -churn value, NAME or NAME:K, into its shape
+// name and churn size (default 2). Shape validation happens downstream
+// in experiment.CustomChurn so its error lists the known shapes.
+func parseChurnFlag(v string) (string, int, error) {
+	name, kStr, found := strings.Cut(v, ":")
+	if name == "" {
+		return "", 0, fmt.Errorf("bad -churn %q: want NAME or NAME:K", v)
+	}
+	if !found {
+		return name, 2, nil
+	}
+	k, err := strconv.Atoi(kStr)
+	if err != nil || k < 1 {
+		return "", 0, fmt.Errorf("bad -churn size in %q: want a positive integer after the colon", v)
+	}
+	return name, k, nil
 }
 
 // replayOrNil avoids handing obs.Tee a typed-nil Observer interface (a

@@ -99,6 +99,59 @@ func TestRunCustomAdversary(t *testing.T) {
 	}
 }
 
+func TestRunCustomChurn(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-churn", "rewire:2", "-quick", "-trials", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"EX: churn rewire (k=2) scheduled on-silence:2", "churn events", "verdict: PASS"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunCustomChurnComposed(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-churn", "crashjoin", "-churn-inject", "on-silence:2",
+		"-adversary", "uniform", "-faults", "1", "-inject", "on-silence:2",
+		"-quick", "-trials", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	frag := "EX: churn crashjoin (k=2) scheduled on-silence:2 + adversary uniform (k=1) scheduled on-silence:2"
+	if !strings.Contains(out, frag) || !strings.Contains(out, "verdict: PASS") {
+		t.Fatalf("composed churn output missing %q:\n%s", frag, out)
+	}
+}
+
+func TestRunBadChurn(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-churn", "meteor"}, &sb); err == nil {
+		t.Fatal("unknown churn shape accepted")
+	} else if !strings.Contains(err.Error(), "rewire") {
+		t.Fatalf("unknown-shape error does not list shapes: %v", err)
+	}
+	if err := run([]string{"-churn", "rewire:zero"}, &sb); err == nil {
+		t.Fatal("bad churn size accepted")
+	}
+	if err := run([]string{"-churn", "rewire:0"}, &sb); err == nil {
+		t.Fatal("zero churn size accepted")
+	}
+	if err := run([]string{"-churn", "rewire", "-churn-inject", "sometimes"}, &sb); err == nil {
+		t.Fatal("bad churn schedule accepted")
+	}
+	if err := run([]string{"-churn-inject", "on-silence:2"}, &sb); err == nil {
+		t.Fatal("-churn-inject without -churn accepted")
+	}
+	if err := run([]string{"-run", "E3", "-churn", "rewire"}, &sb); err == nil {
+		t.Fatal("-run combined with -churn accepted")
+	}
+}
+
 func TestRunBadAdversary(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-adversary", "bitrot"}, &sb); err == nil {

@@ -20,7 +20,10 @@ import (
 // v2: sequential trial stopping entered the fingerprint (`stop=` line),
 // so v1 entries — written before adaptive cells could exist — miss
 // cleanly rather than alias an adaptive cell's realized records.
-const EngineVersion = "campaign-engine-v2"
+// v3: the topology-churn axis entered the fingerprint (churn=/churn-k=/
+// churn-inject= lines) and TrialRecord grew the churnEvents field, so
+// v2 entries miss cleanly rather than replay records without it.
+const EngineVersion = "campaign-engine-v3"
 
 // cellFingerprint is the canonical content identity of one cell's
 // results: everything that determines the records' bytes — the engine
@@ -42,6 +45,9 @@ func (p *Plan) cellFingerprint(cs *CellSpec) string {
 		"adversary=" + cs.Adversary,
 		"k=" + strconv.Itoa(cs.K),
 		"inject=" + cs.Schedule.String(),
+		"churn=" + cs.ChurnName,
+		"churn-k=" + strconv.Itoa(cs.ChurnK),
+		"churn-inject=" + cs.ChurnSchedule.String(),
 		"key=" + cs.Key,
 	}
 	return strings.Join(parts, "\n")

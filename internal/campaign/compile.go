@@ -26,6 +26,11 @@ const maxCells = 65536
 const (
 	defaultPlainKey = "{graph}|{protocol}|{daemon}|{suffix}"
 	defaultFaultKey = "{graph}|{protocol}|{daemon}|adv={adversary}|k={k}|inject={schedule}"
+	// defaultChurnSuffix extends the default key with the churn
+	// coordinates. It is appended only when the campaign has a churn
+	// axis, so churn-free campaigns keep their pre-churn cell keys (and
+	// so their trial seed streams and cache entries).
+	defaultChurnSuffix = "|churn={churn}|ck={churn-k}|cinject={churn-inject}"
 )
 
 // CellSpec is one compiled cell: the resolved coordinates of a point in
@@ -44,11 +49,16 @@ type CellSpec struct {
 	GraphLine string
 	Protocol  string
 	Daemon    string
-	// Adversary/K/Schedule describe the fault axis ("" / 0 for plain
-	// convergence cells).
+	// Adversary/K/Schedule describe the fault axis ("" / 0 for cells
+	// without state faults).
 	Adversary string
 	K         int
 	Schedule  fault.Schedule
+	// ChurnName/ChurnK/ChurnSchedule describe the topology-churn axis
+	// ("" / 0 for cells on a static topology).
+	ChurnName     string
+	ChurnK        int
+	ChurnSchedule fault.Schedule
 
 	snapshot *model.Config // silent snapshot, filled lazily (ensureSnapshots)
 }
@@ -63,10 +73,11 @@ func (cs *CellSpec) atStart() bool {
 type Plan struct {
 	Spec *Spec
 	// Cells is the expanded sweep, in deterministic order: graph line ×
-	// size × protocol × daemon × adversary line × k.
+	// size × protocol × daemon × adversary line × k × churn line ×
+	// churn k.
 	Cells []CellSpec
 	// Faulted reports whether the cells are injected-trial cells (the
-	// campaign has an adversary axis).
+	// campaign has an adversary or churn axis).
 	Faulted bool
 
 	cfg engine.Config
@@ -144,7 +155,7 @@ func (p *Plan) materialize(cells []int) error {
 func Compile(spec *Spec, parallelism int) (*Plan, error) {
 	p := &Plan{
 		Spec:    spec,
-		Faulted: len(spec.Adversaries) > 0,
+		Faulted: len(spec.Adversaries) > 0 || len(spec.Churns) > 0,
 		cfg: engine.Config{
 			Seed:        spec.Seed,
 			Trials:      spec.Trials,
@@ -163,10 +174,14 @@ func Compile(spec *Spec, parallelism int) (*Plan, error) {
 	}
 	perGraph := 1
 	if p.Faulted {
-		perGraph = 0
+		advPoints, churnPoints := 0, 0
 		for _, adv := range spec.Adversaries {
-			perGraph += len(adv.Ks)
+			advPoints += len(adv.Ks)
 		}
+		for _, ch := range spec.Churns {
+			churnPoints += len(ch.Ks)
+		}
+		perGraph = max(1, advPoints) * max(1, churnPoints)
 	}
 	if total := totalSizes * len(spec.Protocols) * len(spec.Daemons) * perGraph; total > maxCells {
 		return nil, fmt.Errorf("campaign: %d cells exceed the %d-cell limit", total, maxCells)
@@ -200,7 +215,10 @@ func Compile(spec *Spec, parallelism int) (*Plan, error) {
 		}
 	}
 
-	// Cell expansion, in canonical axis order.
+	// Cell expansion, in canonical axis order. The churn axis is the
+	// innermost loop; when it is absent the single empty churn point
+	// keeps the expansion (order, keys, seed streams) identical to the
+	// pre-churn compiler.
 	template := spec.KeyTemplate
 	for _, bg := range graphs {
 		for _, proto := range spec.Protocols {
@@ -212,13 +230,31 @@ func Compile(spec *Spec, parallelism int) (*Plan, error) {
 					})
 					continue
 				}
+				appendPoint := func(advName string, k int, schedule fault.Schedule) {
+					base := CellSpec{
+						Graph: bg.g, GraphLine: bg.line,
+						Protocol: proto, Daemon: daemon,
+						Adversary: advName, K: k, Schedule: schedule,
+					}
+					if len(spec.Churns) == 0 {
+						p.Cells = append(p.Cells, base)
+						return
+					}
+					for _, ch := range spec.Churns {
+						for _, ck := range ch.Ks {
+							cell := base
+							cell.ChurnName, cell.ChurnK, cell.ChurnSchedule = ch.Name, ck, ch.Schedule
+							p.Cells = append(p.Cells, cell)
+						}
+					}
+				}
+				if len(spec.Adversaries) == 0 {
+					appendPoint("", 0, fault.Schedule{})
+					continue
+				}
 				for _, adv := range spec.Adversaries {
 					for _, k := range adv.Ks {
-						p.Cells = append(p.Cells, CellSpec{
-							Graph: bg.g, GraphLine: bg.line,
-							Protocol: proto, Daemon: daemon,
-							Adversary: adv.Name, K: k, Schedule: adv.Schedule,
-						})
+						appendPoint(adv.Name, k, adv.Schedule)
 					}
 				}
 			}
@@ -228,6 +264,9 @@ func Compile(spec *Spec, parallelism int) (*Plan, error) {
 		template = defaultPlainKey
 		if p.Faulted {
 			template = defaultFaultKey
+		}
+		if len(spec.Churns) > 0 {
+			template += defaultChurnSuffix
 		}
 	}
 	seenKeys := make(map[string]int, len(p.Cells))
@@ -252,12 +291,17 @@ func Compile(spec *Spec, parallelism int) (*Plan, error) {
 }
 
 // expandKey substitutes the cell's coordinates into a key template. In
-// plain (non-fault) cells the fault placeholders render as their empty
-// values: {adversary}/{schedule} as "none", {k}/{count} as 0.
+// cells without the corresponding axis the fault and churn placeholders
+// render as their empty values: {adversary}/{schedule}/{churn}/
+// {churn-inject} as "none", {k}/{count}/{churn-k} as 0.
 func expandKey(template string, spec *Spec, cs *CellSpec) string {
 	advName, schedStr, count := "none", "none", 0
 	if cs.Adversary != "" {
 		advName, schedStr, count = cs.Adversary, cs.Schedule.String(), cs.Schedule.Injections()
+	}
+	churnName, churnSchedStr := "none", "none"
+	if cs.ChurnName != "" {
+		churnName, churnSchedStr = cs.ChurnName, cs.ChurnSchedule.String()
 	}
 	return strings.NewReplacer(
 		"{graph}", cs.Graph.Name(),
@@ -269,6 +313,9 @@ func expandKey(template string, spec *Spec, cs *CellSpec) string {
 		"{schedule}", schedStr,
 		"{count}", strconv.Itoa(count),
 		"{suffix}", strconv.Itoa(spec.SuffixRounds),
+		"{churn}", churnName,
+		"{churn-k}", strconv.Itoa(cs.ChurnK),
+		"{churn-inject}", churnSchedStr,
 	).Replace(template)
 }
 
@@ -399,19 +446,35 @@ func (p *Plan) ensureEngineCells(cells []int) error {
 		}
 		advName, k, schedule := cs.Adversary, cs.K, cs.Schedule
 		advKey := fmt.Sprintf("%s/%d", advName, k)
+		churnName, churnK, churnSchedule := cs.ChurnName, cs.ChurnK, cs.ChurnSchedule
+		churnKey := fmt.Sprintf("churn:%s/%d", churnName, churnK)
 		// The snapshot is read through cs at trial time: it is filled by
 		// ensureSnapshots after compilation, before the pool launches.
 		cell := cs
 		p.cells[i] = engine.Cell{
 			Key: cs.Key,
 			RunFaultOn: func(rn *core.Runner, trial int, seed uint64, res *core.FaultResult) error {
-				adv := rn.Adversary(advKey, func() fault.Adversary {
-					a, err := fault.ByName(advName, k)
-					if err != nil {
-						panic(err)
-					}
-					return a
-				})
+				var plan fault.Plan
+				if advName != "" {
+					plan.Adversary = rn.Adversary(advKey, func() fault.Adversary {
+						a, err := fault.ByName(advName, k)
+						if err != nil {
+							panic(err)
+						}
+						return a
+					})
+					plan.Schedule = schedule
+				}
+				if churnName != "" {
+					plan.Churn = rn.ChurnAdversary(churnKey, func() fault.ChurnAdversary {
+						a, err := fault.ChurnByName(churnName, churnK)
+						if err != nil {
+							panic(err)
+						}
+						return a
+					})
+					plan.ChurnSchedule = churnSchedule
+				}
 				opts := core.RunOptions{
 					Scheduler:  rn.Scheduler(daemon, seed, mkSched),
 					Seed:       seed,
@@ -420,7 +483,6 @@ func (p *Plan) ensureEngineCells(cells []int) error {
 					Legitimate: legit,
 					Events:     obs.Scope{Obs: p.cfg.Observer, Cell: cellIdx, Key: cellKey, Trial: trial},
 				}
-				plan := fault.Plan{Adversary: adv, Schedule: schedule}
 				if cell.atStart() {
 					if cell.snapshot == nil {
 						return fmt.Errorf("campaign: cell %q run without its snapshot (ensureSnapshots not called)", cell.Key)

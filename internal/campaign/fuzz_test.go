@@ -22,6 +22,9 @@ func FuzzParseCampaign(f *testing.F) {
 		"adversary cluster k=1,2 inject=on-silence:3\nadversary crash k=4 inject=every:100:2\n")
 	f.Add("campaign x\nkey {graph}|{protocol}|cluster={k}\ngraph grid 16\n" +
 		"protocol coloring mis matching\nadversary cluster k=1,2,4,8,16 inject=at-start\n")
+	f.Add("campaign c\ngraph cycle 9\nprotocol coloring\nchurn crashjoin k=1,2 inject=on-silence:2\n")
+	f.Add("campaign cc\ngraph grid 16\nprotocol coloring\nadversary uniform k=1 inject=on-silence:2\n" +
+		"churn rewire k=2 inject=on-silence:2\nmetrics silent churn-events\n")
 	f.Add("campaign bad\ngraph path 0\n")
 	f.Add("seed 5\ncampaign late\n")
 	f.Add("campaign t\ngraph rgg 12 p=0.4\nprotocol frozen bfstree\ndaemon laziest-fair\n")

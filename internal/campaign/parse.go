@@ -38,6 +38,15 @@ const (
 var keyPlaceholders = []string{
 	"{graph}", "{n}", "{protocol}", "{daemon}",
 	"{adversary}", "{k}", "{schedule}", "{count}", "{suffix}",
+	"{churn}", "{churn-k}", "{churn-inject}",
+}
+
+// directiveNames lists every directive the grammar accepts, in the
+// canonical order of the grammar doc; the unknown-directive error
+// enumerates them so a typo'd campaign file names its own fix.
+var directiveNames = []string{
+	"campaign", "seed", "trials", "max-steps", "stop", "suffix-rounds",
+	"key", "graph", "protocol", "daemon", "adversary", "churn", "metrics",
 }
 
 // Parse parses campaign DSL source into a Spec. The grammar is
@@ -55,6 +64,7 @@ var keyPlaceholders = []string{
 //	protocol NAME...            # engine.Families names
 //	daemon NAME...              # sched.Names names (default random-subset)
 //	adversary NAME k=K1,K2,... inject=SCHEDULE
+//	churn NAME k=K1,K2,... inject=SCHEDULE   # topology churn (fault.ChurnNames)
 //	metrics NAME...             # output selectors (see MetricNames)
 //
 // The parser is strict: unknown directives, unknown axis values,
@@ -217,6 +227,15 @@ func Parse(src string) (*Spec, error) {
 				return nil, fail("more than %d adversary lines", maxAxisEntries)
 			}
 			s.Adversaries = append(s.Adversaries, as)
+		case "churn":
+			ch, err := parseChurnAxis(args)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if len(s.Churns) >= maxAxisEntries {
+				return nil, fail("more than %d churn lines", maxAxisEntries)
+			}
+			s.Churns = append(s.Churns, ch)
 		case "metrics":
 			if len(args) == 0 {
 				return nil, fail("want at least one metric name")
@@ -231,7 +250,8 @@ func Parse(src string) (*Spec, error) {
 				s.Metrics = append(s.Metrics, name)
 			}
 		default:
-			return nil, fmt.Errorf("campaign: line %d: unknown directive %q", ln+1, directive)
+			return nil, fmt.Errorf("campaign: line %d: unknown directive %q (directives: %s)",
+				ln+1, directive, strings.Join(directiveNames, " "))
 		}
 	}
 	if !sawCampaign {
@@ -260,19 +280,20 @@ func (s *Spec) finish(seen map[string]bool) error {
 	if len(s.Daemons) == 0 {
 		s.Daemons = []string{engine.DefaultSchedName}
 	}
-	if len(s.Adversaries) > 0 {
+	faulted := len(s.Adversaries) > 0 || len(s.Churns) > 0
+	if faulted {
 		if s.SuffixRounds > 0 {
 			return fmt.Errorf("campaign: suffix-rounds does not apply to fault campaigns")
 		}
 	} else {
 		for _, m := range s.Metrics {
 			if md, _ := metricByName(m); md.faultOnly {
-				return fmt.Errorf("campaign: metric %q requires an adversary axis", m)
+				return fmt.Errorf("campaign: metric %q requires an adversary or churn axis", m)
 			}
 		}
 	}
 	if len(s.Metrics) == 0 {
-		s.Metrics = defaultMetrics(len(s.Adversaries) > 0)
+		s.Metrics = defaultMetrics(faulted)
 	}
 	return nil
 }
@@ -464,6 +485,62 @@ func parseAdversary(args []string) (AdversarySpec, error) {
 		return as, fmt.Errorf("missing k= fault sizes")
 	}
 	return as, nil
+}
+
+// parseChurnAxis parses a `churn` line body: the same NAME k=...
+// inject=... shape as an adversary line, validated against the churn
+// adversary registry.
+func parseChurnAxis(args []string) (ChurnSpec, error) {
+	var cs ChurnSpec
+	if len(args) < 2 {
+		return cs, fmt.Errorf("want `churn NAME k=K1,K2,... [inject=SCHEDULE]`")
+	}
+	cs.Name = args[0]
+	if !slices.Contains(fault.ChurnNames(), cs.Name) {
+		return cs, fmt.Errorf("unknown churn shape %q (known: %v)", cs.Name, fault.ChurnNames())
+	}
+	cs.Schedule = fault.AtStart()
+	sawK, sawInject := false, false
+	for _, opt := range args[1:] {
+		switch {
+		case strings.HasPrefix(opt, "k="):
+			if sawK {
+				return cs, fmt.Errorf("duplicate k= option")
+			}
+			sawK = true
+			for _, tok := range strings.Split(opt[2:], ",") {
+				k, err := strconv.Atoi(tok)
+				if err != nil || k < 1 || k > maxFaultK {
+					return cs, fmt.Errorf("bad churn size %q", tok)
+				}
+				for _, prev := range cs.Ks {
+					if prev == k {
+						return cs, fmt.Errorf("duplicate churn size %d", k)
+					}
+				}
+				if len(cs.Ks) >= maxAxisEntries {
+					return cs, fmt.Errorf("more than %d churn sizes", maxAxisEntries)
+				}
+				cs.Ks = append(cs.Ks, k)
+			}
+		case strings.HasPrefix(opt, "inject="):
+			if sawInject {
+				return cs, fmt.Errorf("duplicate inject= option")
+			}
+			sawInject = true
+			sc, err := fault.ParseSchedule(opt[len("inject="):])
+			if err != nil {
+				return cs, err
+			}
+			cs.Schedule = sc
+		default:
+			return cs, fmt.Errorf("unknown churn option %q (want k=... or inject=...)", opt)
+		}
+	}
+	if !sawK || len(cs.Ks) == 0 {
+		return cs, fmt.Errorf("missing k= churn sizes")
+	}
+	return cs, nil
 }
 
 // parseStop parses a `stop` rule: ci:WIDTH or ci:WIDTH:MIN..MAX. WIDTH

@@ -30,6 +30,9 @@ type TrialRecord struct {
 	MaxRecoveryRounds int `json:"maxRecoveryRounds"`
 	MaxRadius         int `json:"maxRadius"`
 	MaxBallRadius     int `json:"maxBallRadius"`
+	// ChurnEvents counts topology-churn firings (zero without a churn
+	// axis).
+	ChurnEvents int `json:"churnEvents"`
 }
 
 // fillRun populates the plain-run metrics from a trial result.
@@ -58,6 +61,7 @@ func (t *TrialRecord) fillFault(res *core.FaultResult) {
 	t.Recovered = res.Recovered
 	t.MaxRecoveryRounds = res.MaxRecoveryRounds()
 	t.MaxRadius = res.MaxRadius()
+	t.ChurnEvents = res.ChurnEvents
 	for i := range res.Episodes {
 		if res.Episodes[i].BallRadius > t.MaxBallRadius {
 			t.MaxBallRadius = res.Episodes[i].BallRadius
@@ -95,6 +99,7 @@ var metricDefs = []metricDef{
 	{name: "max-recovery-rounds", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.MaxRecoveryRounds) }},
 	{name: "max-radius", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.MaxRadius) }},
 	{name: "max-ball-radius", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.MaxBallRadius) }},
+	{name: "churn-events", faultOnly: true, intVal: func(t *TrialRecord) int64 { return int64(t.ChurnEvents) }},
 }
 
 func metricByName(name string) (metricDef, bool) {

@@ -109,6 +109,29 @@ func (a AdversarySpec) line() string {
 	return fmt.Sprintf("%s k=%s inject=%s", a.Name, strings.Join(ks, ","), a.Schedule)
 }
 
+// ChurnSpec is one `churn` axis line: a fault.ChurnByName topology
+// adversary swept over churn sizes under one firing schedule.
+type ChurnSpec struct {
+	// Name is a fault.ChurnNames shape (rewire, cut, crashjoin).
+	Name string
+	// Ks are the churn sizes (edges rewired / ball radius / processes
+	// crashed per firing).
+	Ks []int
+	// Schedule decides when the topology changes. Unlike the adversary
+	// axis, at-start churn does not inject into a silent snapshot: the
+	// topology mutates right after the (random) initial configuration is
+	// installed, and the run recovers from there.
+	Schedule fault.Schedule
+}
+
+func (c ChurnSpec) line() string {
+	ks := make([]string, len(c.Ks))
+	for i, k := range c.Ks {
+		ks[i] = strconv.Itoa(k)
+	}
+	return fmt.Sprintf("%s k=%s inject=%s", c.Name, strings.Join(ks, ","), c.Schedule)
+}
+
 // Spec is a parsed campaign: the full declarative description of a
 // scenario sweep. Parse resolves every default, so a Spec (and its
 // String rendering) is always complete; String(Parse(x)) is a fixed
@@ -141,14 +164,17 @@ type Spec struct {
 	// expandKey). Pinning a template keeps a campaign's seed streams
 	// byte-compatible with pre-campaign experiment code.
 	KeyTemplate string
-	// Graphs, Protocols, Daemons and Adversaries are the sweep axes,
-	// expanded in declaration order as graph × protocol × daemon ×
-	// adversary-line × k. No Adversaries means a plain convergence
-	// campaign.
+	// Graphs, Protocols, Daemons, Adversaries and Churns are the sweep
+	// axes, expanded in declaration order as graph × protocol × daemon ×
+	// adversary-line × k × churn-line × churn-k. No Adversaries and no
+	// Churns means a plain convergence campaign; either axis alone makes
+	// the campaign faulted (injected trials), and together they compose:
+	// every (adversary, k) point runs against every (churn, k) point.
 	Graphs      []GraphSpec
 	Protocols   []string
 	Daemons     []string
 	Adversaries []AdversarySpec
+	Churns      []ChurnSpec
 	// Metrics selects the per-trial outputs, in emission order.
 	Metrics []string
 }
@@ -177,6 +203,9 @@ func (s *Spec) String() string {
 	fmt.Fprintf(&sb, "daemon %s\n", strings.Join(s.Daemons, " "))
 	for _, a := range s.Adversaries {
 		fmt.Fprintf(&sb, "adversary %s\n", a.line())
+	}
+	for _, c := range s.Churns {
+		fmt.Fprintf(&sb, "churn %s\n", c.line())
 	}
 	fmt.Fprintf(&sb, "metrics %s\n", strings.Join(s.Metrics, " "))
 	return sb.String()

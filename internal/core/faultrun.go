@@ -6,6 +6,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/trace"
 )
 
@@ -18,14 +19,26 @@ import (
 // every corrupted process dirty via model.Simulator.MarkDirty, the exact
 // dirty rule Step applies to moving processes, so the incremental
 // enabled/silence caches never observe a stale verdict.
+//
+// Plans may also (or only) carry a churn adversary: topology mutations
+// fired on their own schedule against a runner-owned dynamic copy of
+// the system (model.System.MutableCopy, reset between trials). A churn
+// firing opens a recovery episode exactly like a state injection, with
+// the affected process set as the containment source; cache soundness
+// is owned by model.Simulator.ApplyTopology.
 
-// Episode reports one injection and the recovery that followed it.
+// Episode reports one disturbance — a state injection, a topology churn
+// firing, or both at the same instant — and the recovery that followed.
 type Episode struct {
-	// Step is the step index at which the injection happened (0 for an
+	// Step is the step index at which the disturbance happened (0 for an
 	// at-start injection).
 	Step int
-	// Faulted is the number of corrupted processes.
+	// Faulted is the number of corrupted processes (0 for a pure
+	// topology episode).
 	Faulted int
+	// Churned is the number of processes affected by the episode's
+	// topology churn (0 for a pure state-fault episode).
+	Churned int
 	// Recovered reports whether the system re-reached silence after this
 	// injection and before the next one (or the end of the run).
 	Recovered bool
@@ -48,19 +61,22 @@ type Episode struct {
 // Run would) plus per-episode recovery statistics.
 type FaultResult struct {
 	RunResult
-	// Injections is the number of injections performed.
+	// Injections is the number of state injections performed.
 	Injections int
+	// ChurnEvents is the number of topology churn firings performed.
+	ChurnEvents int
 	// Recovered counts the episodes that ended in silence.
 	Recovered int
-	// Episodes holds per-injection statistics, in injection order. The
+	// Episodes holds per-disturbance statistics, in firing order. The
 	// slice is reused across trials on the same result buffer.
 	Episodes []Episode
 }
 
-// AllRecovered reports whether every injection was followed by a return
-// to silence (and at least one injection happened).
+// AllRecovered reports whether every disturbance was followed by a
+// return to silence (and at least one disturbance happened). For plans
+// without churn this is exactly "every injection recovered".
 func (r *FaultResult) AllRecovered() bool {
-	return r.Injections > 0 && r.Recovered == r.Injections
+	return len(r.Episodes) > 0 && r.Recovered == len(r.Episodes)
 }
 
 // MaxRecoveryRounds returns the largest per-episode recovery round count.
@@ -90,6 +106,8 @@ type faultRun struct {
 	obs     faultObserver
 	contain fault.Containment
 	faulted []int
+	churned []int
+	all     []int // faulted ∪ churned, the episode's containment sources
 }
 
 // faultObserver forwards every engine event to the trace recorder
@@ -142,6 +160,31 @@ func (r *Runner) Adversary(key string, mk func() fault.Adversary) fault.Adversar
 	return r.adv
 }
 
+// ChurnAdversary returns the churn adversary for a trial, caching by
+// key exactly like Adversary. The key must uniquely determine mk's
+// behavior — use name plus parameters, e.g. "churn:rewire/2".
+func (r *Runner) ChurnAdversary(key string, mk func() fault.ChurnAdversary) fault.ChurnAdversary {
+	if r.churn != nil && key != "" && r.churnKey == key {
+		return r.churn
+	}
+	r.churn = mk()
+	r.churnKey = key
+	return r.churn
+}
+
+// dynamicSystem returns the runner-owned dynamic copy of sys with the
+// base topology restored, rebuilding it only when the base system
+// changes (the worker's cell-affine job order makes that rare).
+func (r *Runner) dynamicSystem(sys *model.System) *model.System {
+	if r.dynBase != sys || r.dynSys == nil {
+		r.dynBase = sys
+		r.dynSys = sys.MutableCopy()
+	} else {
+		r.dynSys.ResetDynamic()
+	}
+	return r.dynSys
+}
+
 // RunFaulted executes one trial from the runner's initial-configuration
 // buffer (see InitialConfig) under a fault plan: plan.Adversary is
 // rewound to opts.Seed and strikes at the instants plan.Schedule
@@ -162,9 +205,18 @@ func (r *Runner) Adversary(key string, mk func() fault.Adversary) fault.Adversar
 //
 // Like Run, res never aliases runner-owned memory and the
 // initial-configuration buffer is consumed.
+//
+// When plan.Churn is set the trial executes on the runner's dynamic
+// copy of sys (reset to the base topology first): churn firings follow
+// plan.ChurnSchedule with randomness derived from opts.Seed under the
+// "churn" label, so adding churn to a plan never perturbs the state
+// adversary's or the scheduler's draw streams. A step at which both
+// schedules fire disturbs topology first, then state, and opens one
+// combined episode.
 func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan, res *FaultResult) error {
-	if plan.Adversary == nil {
-		return fmt.Errorf("core: RunFaulted without an adversary")
+	hasAdv, hasChurn := plan.Adversary != nil, plan.Churn != nil
+	if !hasAdv && !hasChurn {
+		return fmt.Errorf("core: RunFaulted without an adversary or churn adversary")
 	}
 	if opts.Scheduler == nil {
 		return fmt.Errorf("core: RunOptions.Scheduler is required")
@@ -181,23 +233,37 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 		r.rec.Reset(sys.N())
 	}
 	adv := plan.Adversary
-	adv.Reset(opts.Seed)
-	total := plan.Schedule.Injections()
+	totalFault := 0
+	if hasAdv {
+		adv.Reset(opts.Seed)
+		totalFault = plan.Schedule.Injections()
+	}
+	runSys := sys
+	totalChurn := 0
+	if hasChurn {
+		runSys = r.dynamicSystem(sys)
+		plan.Churn.Reset(rng.DeriveString(opts.Seed, "churn"))
+		totalChurn = plan.ChurnSchedule.Injections()
+	}
 
 	fr := &r.fr
 	fr.obs.rec = r.rec
 	fr.obs.contain = &fr.contain
 	fr.obs.active = false
-	res.Injections, res.Recovered = 0, 0
+	res.Injections, res.ChurnEvents, res.Recovered = 0, 0, 0
 	res.Episodes = res.Episodes[:0]
+	fr.faulted, fr.churned = fr.faulted[:0], fr.churned[:0]
 
-	if plan.Schedule.Kind == fault.KindAtStart {
+	atStartFault := hasAdv && plan.Schedule.Kind == fault.KindAtStart
+	atStartChurn := hasChurn && plan.ChurnSchedule.Kind == fault.KindAtStart
+	if atStartFault {
 		// The start injection corrupts the initial buffer before the
 		// simulator adopts it; Reset re-derives every cache, so no dirty
-		// marking is needed.
+		// marking is needed. (Still on the base topology and domains —
+		// byte-identical to the pre-churn at-start path.)
 		fr.faulted = adv.Inject(sys, r.cfg, fr.faulted[:0])
 	}
-	if err := r.sim.Reset(sys, r.cfg, opts.Scheduler, opts.Seed, &fr.obs); err != nil {
+	if err := r.sim.Reset(runSys, r.cfg, opts.Scheduler, opts.Seed, &fr.obs); err != nil {
 		return err
 	}
 	checkEvery := opts.CheckEvery
@@ -208,18 +274,23 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 	var roundsAtInjection int
 	var ep Episode
 	openEpisode := func() {
-		fr.contain.Begin(sys.Graph(), fr.faulted)
-		ep = Episode{Step: r.sim.Steps(), Faulted: len(fr.faulted), BallRadius: -1}
-		if br, ok := adv.(ballRadiusReporter); ok {
-			ep.BallRadius = br.LastBallRadius()
+		fr.all = append(append(fr.all[:0], fr.faulted...), fr.churned...)
+		fr.contain.Begin(runSys.Graph(), fr.all)
+		ep = Episode{Step: r.sim.Steps(), Faulted: len(fr.faulted), Churned: len(fr.churned), BallRadius: -1}
+		if len(fr.faulted) > 0 {
+			if br, ok := adv.(ballRadiusReporter); ok {
+				ep.BallRadius = br.LastBallRadius()
+			}
 		}
 		roundsAtInjection = r.sim.Rounds()
 		fr.obs.active = true
-		res.Injections++
-		opts.Events.Emit(obs.Event{
-			Kind: obs.KindInjection, Step: ep.Step,
-			Count: ep.Faulted, Radius: ep.BallRadius,
-		})
+		if len(fr.faulted) > 0 {
+			res.Injections++
+			opts.Events.Emit(obs.Event{
+				Kind: obs.KindInjection, Step: ep.Step,
+				Count: ep.Faulted, Radius: ep.BallRadius,
+			})
+		}
 	}
 	closeEpisode := func(recovered bool) {
 		ep.Recovered = recovered
@@ -232,26 +303,59 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 		fr.obs.active = false
 		opts.Events.Emit(obs.Event{
 			Kind: obs.KindRecovery, Step: r.sim.Steps(), Round: ep.RecoveryRounds,
-			Count: ep.Faulted, Recovered: recovered, Radius: ep.Radius,
+			Count: ep.Faulted + ep.Churned, Recovered: recovered, Radius: ep.Radius,
 		})
 	}
-	injectLive := func() {
-		fr.faulted = adv.Inject(sys, r.sim.Config(), fr.faulted[:0])
-		for _, p := range fr.faulted {
-			r.sim.MarkDirty(p)
+	fireChurn := func() {
+		fr.churned = plan.Churn.Churn(&r.sim, fr.churned[:0])
+		res.ChurnEvents++
+		opts.Events.Emit(obs.Event{
+			Kind: obs.KindTopology, Step: r.sim.Steps(),
+			Count: len(fr.churned), Radius: -1,
+		})
+	}
+	// disturb fires the due sources (topology first, then state) and
+	// opens their combined episode.
+	disturb := func(churnNow, faultNow bool) {
+		if churnNow {
+			fireChurn()
+		} else {
+			fr.churned = fr.churned[:0]
+		}
+		if faultNow {
+			fr.faulted = adv.Inject(runSys, r.sim.Config(), fr.faulted[:0])
+			for _, p := range fr.faulted {
+				r.sim.MarkDirty(p)
+			}
+		} else {
+			fr.faulted = fr.faulted[:0]
 		}
 		openEpisode()
 	}
-	if plan.Schedule.Kind == fault.KindAtStart {
+	if atStartChurn {
+		fireChurn()
+	}
+	if atStartFault || atStartChurn {
+		if !atStartFault {
+			fr.faulted = fr.faulted[:0]
+		}
 		openEpisode()
 	}
 
 	finalSilent := false
 	for {
+		faultPending := hasAdv && res.Injections < totalFault
+		churnPending := hasChurn && res.ChurnEvents < totalChurn
 		limit := opts.MaxSteps
-		if res.Injections < total {
-			if due := plan.Schedule.NextStep(r.sim.Steps()); due >= 0 && due < limit {
-				limit = due
+		faultDue, churnDue := -1, -1
+		if faultPending {
+			if faultDue = plan.Schedule.NextStep(r.sim.Steps()); faultDue >= 0 && faultDue < limit {
+				limit = faultDue
+			}
+		}
+		if churnPending {
+			if churnDue = plan.ChurnSchedule.NextStep(r.sim.Steps()); churnDue >= 0 && churnDue < limit {
+				limit = churnDue
 			}
 		}
 		silent, err := r.sim.RunUntilSilent(limit, checkEvery)
@@ -263,8 +367,11 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 			if fr.obs.active {
 				closeEpisode(true)
 			}
-			if res.Injections < total {
-				injectLive()
+			if faultPending || churnPending {
+				// Pending disturbances fire at the silence point
+				// regardless of schedule kind (the adversary does not
+				// wait for a finished computation).
+				disturb(churnPending, faultPending)
 				continue
 			}
 			finalSilent = true
@@ -276,11 +383,11 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 			}
 			break
 		}
-		// Paused at a scheduled mid-run injection instant.
+		// Paused at a scheduled mid-run disturbance instant.
 		if fr.obs.active {
 			closeEpisode(false)
 		}
-		injectLive()
+		disturb(churnPending && churnDue == r.sim.Steps(), faultPending && faultDue == r.sim.Steps())
 	}
 
 	res.Silent = finalSilent
@@ -288,7 +395,7 @@ func (r *Runner) RunFaulted(sys *model.System, opts RunOptions, plan fault.Plan,
 	res.RoundsToSilence = r.sim.Rounds()
 	res.LegitimateAtSilence = false
 	if finalSilent && opts.Legitimate != nil {
-		res.LegitimateAtSilence = opts.Legitimate(sys, r.sim.Config())
+		res.LegitimateAtSilence = opts.Legitimate(runSys, r.sim.Config())
 	}
 	if finalSilent && opts.SuffixRounds > 0 {
 		r.rec.MarkSuffix()

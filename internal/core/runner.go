@@ -34,6 +34,14 @@ type Runner struct {
 	advKey string
 	adv    fault.Adversary
 
+	churnKey string
+	churn    fault.ChurnAdversary
+
+	// dynSys is the runner-owned dynamic copy of dynBase, rebuilt only
+	// when the base system changes and topology-reset between trials.
+	dynBase *model.System
+	dynSys  *model.System
+
 	initSrc  rng.SplitMix
 	initRand *rng.Rand
 

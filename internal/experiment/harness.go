@@ -5,6 +5,9 @@
 // measured data is consistent with the paper's claim. E16-E18 extend
 // the registry along the adversary axis (internal/fault): fault shape,
 // fault timing and fault locality of the recovery the paper promises.
+// E19-E21 extend it along the topology axis (the `churn` campaign
+// directive): edge rewiring, partition-shaped cuts and crash/join churn
+// on mutable graphs, alone and composed with state faults.
 //
 // Trials run on a parallel sharded worker pool (see pool.go). The engine
 // is deterministic: per-trial seeds are derived from (Config.Seed, cell
@@ -112,6 +115,9 @@ func Registry() []Entry {
 		{"E16", "adversary-shape grid: recovery under every fault model", E16AdversaryGrid},
 		{"E17", "repeated on-silence injection under every daemon", E17RepeatedInjection},
 		{"E18", "containment radius vs fault-cluster size", E18ClusterContainment},
+		{"E19", "convergence under edge rewiring (dynamic topology)", E19ChurnedConvergence},
+		{"E20", "cut-and-heal recovery on partitioned topologies", E20CutHealing},
+		{"E21", "composed crash/join churn and state faults", E21CrashJoinComposed},
 	}
 }
 

@@ -147,7 +147,7 @@ func ParseSchedule(s string) (Schedule, error) {
 		}
 		v, err := strconv.Atoi(parts[i])
 		if err != nil || v < 1 {
-			return 0, fmt.Errorf("fault: bad schedule argument %q in %q", parts[i], s)
+			return 0, fmt.Errorf("fault: bad schedule argument %q in %q (want a positive integer; schedules: %s)", parts[i], s, scheduleShapes)
 		}
 		return v, nil
 	}
@@ -189,15 +189,27 @@ func ParseSchedule(s string) (Schedule, error) {
 		}
 		return OnSilence(count), nil
 	default:
-		return Schedule{}, fmt.Errorf("fault: unknown schedule %q (want at-start, at-step:T, every:T[:N], on-silence[:N])", s)
+		return Schedule{}, fmt.Errorf("fault: unknown schedule %q (want one of: %s)", s, scheduleShapes)
 	}
 }
 
-// Plan pairs an adversary with its injection schedule: everything
-// core.Runner.RunFaulted needs to know about the fault side of a trial.
+// scheduleShapes enumerates the schedule grammar for error messages.
+const scheduleShapes = "at-start | at-step:T | every:T[:N] | on-silence[:N]"
+
+// Plan describes the fault side of a trial for core.Runner.RunFaulted:
+// an optional state-corrupting adversary with its injection schedule,
+// and an optional topology churn adversary with its own schedule. At
+// least one of the two must be present; when both are, each fires on
+// its own schedule and a firing step that hits both disturbs topology
+// first, then state.
 type Plan struct {
 	Adversary Adversary
 	Schedule  Schedule
+
+	// Churn, when non-nil, mutates the live topology on ChurnSchedule.
+	// Requires a dynamic system (model.System.MutableCopy).
+	Churn         ChurnAdversary
+	ChurnSchedule Schedule
 }
 
 // ByName constructs an adversary from its CLI/table name with fault

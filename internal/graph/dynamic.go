@@ -1,0 +1,301 @@
+package graph
+
+import "fmt"
+
+// dynState is the mutable-topology extension of Graph. A dynamic graph
+// is born from an immutable base graph via MutableCopy and only ever
+// moves between subgraphs of that base: live edges are a subset of the
+// base edge set, degrees never exceed base degrees, and the base port
+// order is restored exactly by ResetTopology.
+//
+// Storage is a single CSR arena. Process p owns the fixed arena range
+// [off[p], off[p+1]); the first deg[p] entries are its live neighbor
+// row (exposed through adj[p]/back[p] as three-index subslices of the
+// arena, so mutation never reallocates), and the remaining entries hold
+// the currently-removed base edges in arbitrary order. Removal swaps
+// the victim entry to the end of the live prefix and shrinks deg;
+// restoration swaps it back in from the dead suffix and grows deg. Both
+// operations are O(degree) scans with O(1) fixups, and neither — nor
+// crash/revive, which are edge-removal/restoration loops — allocates.
+type dynState struct {
+	nbrData  []int  // arena behind adj: live prefix + dead suffix per process
+	backData []int  // arena behind back, same layout
+	off      []int  // off[p]..off[p+1] = p's arena range (base CSR offsets)
+	deg      []int  // live degree of p (adj[p] = nbrData[off[p]:off[p]+deg[p]])
+	alive    []bool // false while p is crashed (deg[p] == 0 then)
+	baseNbr  []int  // pristine base arena, for ResetTopology/ReviveNode
+	baseBack []int
+	baseM    int
+}
+
+// MutableCopy returns a dynamic copy of g: same vertices, edges and
+// port numbering, but supporting RemoveEdge/RestoreEdge/CrashNode/
+// ReviveNode/ResetTopology. The receiver is not modified and shares no
+// storage with the copy.
+func (g *Graph) MutableCopy() *Graph {
+	n := g.N()
+	d := &dynState{
+		off:   make([]int, n+1),
+		deg:   make([]int, n),
+		alive: make([]bool, n),
+		baseM: g.m,
+	}
+	for p := 0; p < n; p++ {
+		d.off[p+1] = d.off[p] + len(g.adj[p])
+		d.deg[p] = len(g.adj[p])
+		d.alive[p] = true
+	}
+	total := d.off[n]
+	d.nbrData = make([]int, total)
+	d.backData = make([]int, total)
+	d.baseNbr = make([]int, total)
+	d.baseBack = make([]int, total)
+	for p := 0; p < n; p++ {
+		copy(d.nbrData[d.off[p]:], g.adj[p])
+		copy(d.backData[d.off[p]:], g.back[p])
+	}
+	copy(d.baseNbr, d.nbrData)
+	copy(d.baseBack, d.backData)
+	h := &Graph{name: g.name, adj: make([][]int, n), back: make([][]int, n), m: g.m, dyn: d}
+	h.resliceViews()
+	return h
+}
+
+// Dynamic reports whether g was produced by MutableCopy and supports
+// topology mutation.
+func (g *Graph) Dynamic() bool { return g.dyn != nil }
+
+// Alive reports whether process p is currently joined. Static graphs
+// report every process alive.
+func (g *Graph) Alive(p int) bool {
+	if g.dyn == nil {
+		return true
+	}
+	return g.dyn.alive[p]
+}
+
+// BaseDegree returns p's degree in the base graph (its maximum possible
+// live degree). On a static graph it equals Degree.
+func (g *Graph) BaseDegree(p int) int {
+	if g.dyn == nil {
+		return len(g.adj[p])
+	}
+	return g.dyn.off[p+1] - g.dyn.off[p]
+}
+
+// resliceViews rebinds adj/back to the live prefixes of the arena. The
+// capacity of each view is the full base row, so a view regrows in
+// place when a removed edge is restored.
+func (g *Graph) resliceViews() {
+	d := g.dyn
+	for p := range g.adj {
+		g.adj[p] = d.nbrData[d.off[p] : d.off[p]+d.deg[p] : d.off[p+1]]
+		g.back[p] = d.backData[d.off[p] : d.off[p]+d.deg[p] : d.off[p+1]]
+	}
+}
+
+// liveIndex returns the 0-based live-row position of q at p, or -1.
+func (g *Graph) liveIndex(p, q int) int {
+	for i, nb := range g.adj[p] {
+		if nb == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// deadIndex returns the 0-based row position (>= deg[p]) of q in p's
+// dead suffix, or -1 if the base edge {p,q} is currently live or does
+// not exist.
+func (g *Graph) deadIndex(p, q int) int {
+	d := g.dyn
+	for j := d.off[p] + d.deg[p]; j < d.off[p+1]; j++ {
+		if d.nbrData[j] == q {
+			return j - d.off[p]
+		}
+	}
+	return -1
+}
+
+// removeHalf drops p's live-row entry i by swapping it with the last
+// live entry and shrinking the row. The moved neighbor's back pointer
+// into p is patched; the dropped entry lands in the dead suffix.
+func (g *Graph) removeHalf(p, i int) {
+	d := g.dyn
+	last := d.deg[p] - 1
+	row, brow := g.adj[p], g.back[p]
+	if i != last {
+		row[i], row[last] = row[last], row[i]
+		brow[i], brow[last] = brow[last], brow[i]
+		w := row[i]
+		g.back[w][brow[i]] = i
+	}
+	d.deg[p] = last
+	g.adj[p] = row[:last]
+	g.back[p] = brow[:last]
+}
+
+// restoreHalf swaps p's dead-suffix entry at row position j into live
+// position deg[p] and grows the row. The entry's back value is stale
+// until the caller rewrites it.
+func (g *Graph) restoreHalf(p, j int) {
+	d := g.dyn
+	at, to := d.off[p]+j, d.off[p]+d.deg[p]
+	d.nbrData[at], d.nbrData[to] = d.nbrData[to], d.nbrData[at]
+	d.backData[at], d.backData[to] = d.backData[to], d.backData[at]
+	d.deg[p]++
+	g.adj[p] = d.nbrData[d.off[p] : d.off[p]+d.deg[p] : d.off[p+1]]
+	g.back[p] = d.backData[d.off[p] : d.off[p]+d.deg[p] : d.off[p+1]]
+}
+
+// RemoveEdge removes the live edge {u, v} from a dynamic graph,
+// reporting whether it was present. Port numbers of other neighbors of
+// u and v may change (the last live port moves into the freed slot);
+// back pointers stay consistent.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if g.dyn == nil {
+		panic("graph: RemoveEdge on a static graph (use MutableCopy)")
+	}
+	iu := g.liveIndex(u, v)
+	if iu < 0 {
+		return false
+	}
+	iv := g.back[u][iu] // position of u in v's row, before any swap
+	g.removeHalf(u, iu)
+	g.removeHalf(v, iv)
+	g.m--
+	return true
+}
+
+// RestoreEdge re-adds a previously removed base edge {u, v}, reporting
+// whether it was restored. It fails (returns false) when the edge is
+// already live, is not a base edge, or either endpoint is crashed. The
+// edge returns at the highest port of each endpoint.
+func (g *Graph) RestoreEdge(u, v int) bool {
+	d := g.dyn
+	if d == nil {
+		panic("graph: RestoreEdge on a static graph (use MutableCopy)")
+	}
+	if !d.alive[u] || !d.alive[v] || g.liveIndex(u, v) >= 0 {
+		return false
+	}
+	ju := g.deadIndex(u, v)
+	if ju < 0 {
+		return false
+	}
+	jv := g.deadIndex(v, u)
+	if jv < 0 {
+		panic(fmt.Sprintf("graph: asymmetric dead entry for edge {%d,%d}", u, v))
+	}
+	g.restoreHalf(u, ju)
+	g.restoreHalf(v, jv)
+	g.back[u][d.deg[u]-1] = d.deg[v] - 1
+	g.back[v][d.deg[v]-1] = d.deg[u] - 1
+	g.m++
+	return true
+}
+
+// CrashNode removes process p from the live topology: every live edge
+// at p is removed (p keeps its identity and remains schedulable at
+// degree 0, per the round model where crashed processes still count).
+// Reports whether p was alive.
+func (g *Graph) CrashNode(p int) bool {
+	d := g.dyn
+	if d == nil {
+		panic("graph: CrashNode on a static graph (use MutableCopy)")
+	}
+	if !d.alive[p] {
+		return false
+	}
+	for d.deg[p] > 0 {
+		g.RemoveEdge(p, g.adj[p][d.deg[p]-1])
+	}
+	d.alive[p] = false
+	return true
+}
+
+// ReviveNode rejoins a crashed process p: every base edge of p whose
+// other endpoint is alive is restored, in base port order. Reports
+// whether p was crashed.
+func (g *Graph) ReviveNode(p int) bool {
+	d := g.dyn
+	if d == nil {
+		panic("graph: ReviveNode on a static graph (use MutableCopy)")
+	}
+	if d.alive[p] {
+		return false
+	}
+	d.alive[p] = true
+	for j := d.off[p]; j < d.off[p+1]; j++ {
+		q := d.baseNbr[j]
+		if d.alive[q] {
+			g.RestoreEdge(p, q)
+		}
+	}
+	return true
+}
+
+// ResetTopology restores the pristine base graph: all edges live in
+// base port order, every process alive. O(arena) copies, no
+// allocation.
+func (g *Graph) ResetTopology() {
+	d := g.dyn
+	if d == nil {
+		panic("graph: ResetTopology on a static graph (use MutableCopy)")
+	}
+	copy(d.nbrData, d.baseNbr)
+	copy(d.backData, d.baseBack)
+	for p := range d.deg {
+		d.deg[p] = d.off[p+1] - d.off[p]
+		d.alive[p] = true
+	}
+	g.resliceViews()
+	g.m = d.baseM
+}
+
+// CheckInvariants verifies the dynamic representation: edge count,
+// live-row symmetry (back pointers round-trip), crashed processes at
+// degree zero, and conservation of the base arena (live prefix plus
+// dead suffix of every process is a permutation of its base row).
+// Intended for tests; returns nil on a static graph.
+func (g *Graph) CheckInvariants() error {
+	d := g.dyn
+	if d == nil {
+		return nil
+	}
+	degSum := 0
+	for p := range g.adj {
+		degSum += d.deg[p]
+		if !d.alive[p] && d.deg[p] != 0 {
+			return fmt.Errorf("crashed process %d has degree %d", p, d.deg[p])
+		}
+		if len(g.adj[p]) != d.deg[p] || len(g.back[p]) != d.deg[p] {
+			return fmt.Errorf("process %d: view length %d/%d != deg %d", p, len(g.adj[p]), len(g.back[p]), d.deg[p])
+		}
+		for i, q := range g.adj[p] {
+			bi := g.back[p][i]
+			if bi < 0 || bi >= d.deg[q] {
+				return fmt.Errorf("process %d port %d: back %d outside live row of %d (deg %d)", p, i+1, bi, q, d.deg[q])
+			}
+			if g.adj[q][bi] != p || g.back[q][bi] != i {
+				return fmt.Errorf("process %d port %d: back pointer to %d does not round-trip", p, i+1, q)
+			}
+		}
+		// Arena conservation: p's row must remain a permutation of its
+		// base row.
+		have := map[int]int{}
+		for j := d.off[p]; j < d.off[p+1]; j++ {
+			have[d.nbrData[j]]++
+			have[d.baseNbr[j]]--
+		}
+		for q, c := range have {
+			if c != 0 {
+				return fmt.Errorf("process %d: arena row lost/gained neighbor %d", p, q)
+			}
+		}
+	}
+	if degSum != 2*g.m {
+		return fmt.Errorf("degree sum %d != 2m = %d", degSum, 2*g.m)
+	}
+	return nil
+}

@@ -19,13 +19,20 @@ import (
 )
 
 // Graph is an undirected graph over processes 0..n-1 with a fixed port
-// numbering. Graphs are immutable after construction; all mutating
-// operations live on Builder.
+// numbering. Graphs are immutable after construction — all construction
+// lives on Builder — except for dynamic copies made with MutableCopy,
+// whose topology may move between subgraphs of the base graph (see
+// dynamic.go).
 type Graph struct {
 	name string
 	adj  [][]int // adj[p][i] = neighbor of p behind port i+1
 	back [][]int // back[p][i] = port index (0-based) of p at adj[p][i]
 	m    int     // number of edges
+
+	// dyn, when non-nil, marks a mutable copy (see dynamic.go): adj and
+	// back become live-prefix views into a CSR arena and the topology
+	// may move between subgraphs of the base graph.
+	dyn *dynState
 }
 
 // Builder accumulates edges and produces an immutable Graph.

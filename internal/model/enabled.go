@@ -85,6 +85,13 @@ func (t *EnabledTracker) EnabledAction(p int) int {
 	if t.valid[p] {
 		return t.action[p]
 	}
+	if t.sys.g.Degree(p) == 0 {
+		// Isolated (crashed under dynamic topology): disabled by
+		// definition, and guards may not be evaluated at degree 0.
+		t.action[p] = -1
+		t.valid[p] = true
+		return -1
+	}
 	c := &t.probe
 	c.pre = t.cfg
 	c.p = p

@@ -119,6 +119,9 @@ func (o *orbitProbe) encode(p int) uint64 {
 // one-shot path, which it delegates to when the local state space exceeds
 // the encoding or the orbit outgrows the reused buffer.
 func (o *orbitProbe) enabledOrbitSilent(cfg *Config, p, maxOrbit int) (bool, error) {
+	if o.sys.g.Degree(p) == 0 {
+		return true, nil // isolated: disabled by definition, orbit closed
+	}
 	if !o.encodable(p) {
 		return enabledOrbitSilent(o.sys, cfg, p, maxOrbit)
 	}

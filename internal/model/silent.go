@@ -67,6 +67,9 @@ func processOrbitSilent(sys *System, cfg *Config, p, maxOrbit int) (bool, error)
 // re-derives enabledness, so calling it on a disabled process is merely
 // wasteful, never wrong.
 func enabledOrbitSilent(sys *System, cfg *Config, p, maxOrbit int) (bool, error) {
+	if sys.g.Degree(p) == 0 {
+		return true, nil // isolated: disabled by definition, orbit closed
+	}
 	// Local scratch state; neighbors are read from cfg, which this probe
 	// never mutates.
 	comm := append([]int(nil), cfg.Comm[p]...)

@@ -8,7 +8,16 @@ import (
 // state (own) and pre configuration (neighbors) and applies the first
 // enabled action. It returns the fired action index or -1 if p is
 // disabled.
+//
+// A degree-0 process is disabled by definition: it cannot communicate,
+// and protocol guards may assume δ.p >= 1 (the paper's model). Static
+// systems never contain one (NewSystem requires min degree 1); under
+// dynamic topologies a crashed or fully cut-off process is isolated but
+// remains scheduled, and this rule is what keeps it from moving.
 func execOne(c *Ctx) int {
+	if c.sys.g.Degree(c.p) == 0 {
+		return -1
+	}
 	spec := c.sys.spec
 	for i := range spec.Actions {
 		c.randAllowed = false
@@ -110,6 +119,9 @@ func StepProcess(sys *System, cfg *Config, p int, r *rng.Rand, obs Observer, ste
 // communication. It allocates a fresh context per call; cached,
 // allocation-free probes are served by EnabledTracker.
 func EnabledAction(sys *System, cfg *Config, p int) int {
+	if sys.g.Degree(p) == 0 {
+		return -1 // isolated: disabled by definition (see execOne)
+	}
 	c := newCtx(sys, cfg, p, nil, nil, -1)
 	spec := sys.spec
 	for i := range spec.Actions {

@@ -1,0 +1,177 @@
+package model
+
+// Dynamic topology support: a System built with MutableCopy owns a
+// mutable graph (graph.MutableCopy) plus private domain tables, and the
+// Simulator applies discrete topology events — edge removal/restore,
+// node crash/join — through ApplyTopology, which keeps the incremental
+// enabled/silence caches sound via the same MarkDirty rule the fault
+// subsystem uses.
+//
+// The live topology is always a subgraph of the base graph: edges only
+// ever leave and return, a crashed process is isolated (degree 0, still
+// scheduled, per the round model) and rejoins with its base edges to
+// alive endpoints. Structural parameters visible to protocols stay at
+// their base values (N, Δ, constants and constant domains); per-process
+// degree-dependent variable domains are refreshed from the live degree
+// (clamped to >= 1 so no domain empties), and values pushed outside a
+// shrunken domain are clamped deterministically.
+
+import "fmt"
+
+// MutableCopy returns a dynamic copy of the system: same spec,
+// constants and structural parameters, but a mutable graph and private
+// per-process domain tables that follow the live topology. The receiver
+// is unchanged and keeps its immutable graph.
+func (s *System) MutableCopy() *System {
+	c := *s
+	c.g = s.g.MutableCopy()
+	c.commDomains = copyRows(s.commDomains)
+	c.internalDomains = copyRows(s.internalDomains)
+	return &c
+}
+
+func copyRows(rows [][]int) [][]int {
+	out := make([][]int, len(rows))
+	for i, row := range rows {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// Dynamic reports whether the system was produced by MutableCopy and
+// accepts topology events.
+func (s *System) Dynamic() bool { return s.g.Dynamic() }
+
+// refreshDomains recomputes p's variable domains from its live degree.
+// A crashed or isolated process keeps degree-1 domains so no domain
+// empties; N and Δ stay at their base values. Constant domains are
+// structural and never refreshed (stored constants stay valid).
+func (s *System) refreshDomains(p int) {
+	deg := s.g.Degree(p)
+	if deg < 1 {
+		deg = 1
+	}
+	info := DomainInfo{N: s.g.N(), Delta: s.delta, Degree: deg}
+	for v := range s.commDomains[p] {
+		s.commDomains[p][v] = s.spec.Comm[v].Domain(info)
+	}
+	for v := range s.internalDomains[p] {
+		s.internalDomains[p][v] = s.spec.Internal[v].Domain(info)
+	}
+}
+
+// ResetDynamic restores a dynamic system to its base topology and base
+// domains. It allocates nothing; calling it on a non-dynamic system
+// panics.
+func (s *System) ResetDynamic() {
+	s.g.ResetTopology()
+	for p := 0; p < s.g.N(); p++ {
+		s.refreshDomains(p)
+	}
+}
+
+// TopologyKind enumerates the first-class topology events.
+type TopologyKind uint8
+
+const (
+	// TopoEdgeRemove removes the live edge {U, V}.
+	TopoEdgeRemove TopologyKind = iota
+	// TopoEdgeAdd restores the previously removed base edge {U, V}.
+	TopoEdgeAdd
+	// TopoCrash removes process U from the live topology with all its
+	// edges; U keeps its identity and stays schedulable at degree 0.
+	TopoCrash
+	// TopoJoin rejoins crashed process U with a fresh (all-zero) state;
+	// its base edges to alive endpoints are restored.
+	TopoJoin
+)
+
+// TopologyEvent is one discrete topology change. V is meaningful only
+// for the edge kinds.
+type TopologyEvent struct {
+	Kind TopologyKind
+	U, V int
+}
+
+// ApplyTopology applies one topology event to the live system and
+// configuration, appends every affected process to dst and returns the
+// extended slice. Affected means the process's neighborhood structure
+// changed: both endpoints of an edge event, or the crashed/joined
+// process plus its former/new neighbors. For each affected process the
+// simulator refreshes its degree-dependent domains, clamps its state
+// into the (possibly shrunken) domains, and applies the MarkDirty rule,
+// so the incremental enabled/silence caches stay exact.
+//
+// The event must be valid for the current topology (the edge to remove
+// live, the edge to add a removed base edge, the process to crash
+// alive, the process to join crashed) — an invalid event panics, since
+// churn adversaries construct events from the live topology and an
+// invalid one is a bug, not an input error. The system must be a
+// MutableCopy. Steady-state calls allocate nothing beyond dst growth.
+func (s *Simulator) ApplyTopology(ev TopologyEvent, dst []int) []int {
+	g := s.sys.g
+	start := len(dst)
+	switch ev.Kind {
+	case TopoEdgeRemove:
+		if !g.RemoveEdge(ev.U, ev.V) {
+			panic(fmt.Sprintf("model: TopoEdgeRemove{%d,%d}: edge not live", ev.U, ev.V))
+		}
+		dst = append(dst, ev.U, ev.V)
+	case TopoEdgeAdd:
+		if !g.RestoreEdge(ev.U, ev.V) {
+			panic(fmt.Sprintf("model: TopoEdgeAdd{%d,%d}: not a removed base edge between alive processes", ev.U, ev.V))
+		}
+		dst = append(dst, ev.U, ev.V)
+	case TopoCrash:
+		// Former neighbors must be collected before their edges go.
+		dst = append(dst, ev.U)
+		for port := 1; port <= g.Degree(ev.U); port++ {
+			dst = append(dst, g.Neighbor(ev.U, port))
+		}
+		if !g.CrashNode(ev.U) {
+			panic(fmt.Sprintf("model: TopoCrash{%d}: process already crashed", ev.U))
+		}
+	case TopoJoin:
+		if !g.ReviveNode(ev.U) {
+			panic(fmt.Sprintf("model: TopoJoin{%d}: process not crashed", ev.U))
+		}
+		dst = append(dst, ev.U)
+		for port := 1; port <= g.Degree(ev.U); port++ {
+			dst = append(dst, g.Neighbor(ev.U, port))
+		}
+		// A joining process starts from a fresh default state.
+		zero(s.cfg.Comm[ev.U])
+		zero(s.cfg.Internal[ev.U])
+	default:
+		panic(fmt.Sprintf("model: unknown topology event kind %d", ev.Kind))
+	}
+	for _, p := range dst[start:] {
+		s.sys.refreshDomains(p)
+		clampRow(s.cfg.Comm[p], s.sys.commDomains[p])
+		clampRow(s.cfg.Internal[p], s.sys.internalDomains[p])
+		if p < len(s.probe.encOK) {
+			// Domain products changed: the 64-bit encodability verdict
+			// (and its radices) must be recomputed.
+			s.probe.encOK[p] = 0
+		}
+		s.MarkDirty(p)
+	}
+	return dst
+}
+
+func zero(row []int) {
+	for i := range row {
+		row[i] = 0
+	}
+}
+
+// clampRow folds values into their (refreshed) domains. Reduction
+// modulo the new domain is deterministic and keeps in-domain values
+// untouched.
+func clampRow(row, doms []int) {
+	for v, val := range row {
+		if d := doms[v]; val >= d {
+			row[v] = val % d
+		}
+	}
+}

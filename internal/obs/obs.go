@@ -64,6 +64,11 @@ const (
 	// Round the episode's recovery rounds, Count the faulted-set size,
 	// Radius the containment radius, Step the closing instant.
 	KindRecovery
+	// KindTopology marks a topology churn firing under a dynamic system:
+	// Step is the instant, Count the number of affected processes
+	// (endpoints of changed edges, crashed/rejoined processes and their
+	// neighbors), Radius is -1 (diagnostic, like KindInjection).
+	KindTopology
 )
 
 var kindNames = [...]string{
@@ -78,6 +83,7 @@ var kindNames = [...]string{
 	KindSilence:        "silence",
 	KindInjection:      "injection",
 	KindRecovery:       "recovery",
+	KindTopology:       "topology",
 }
 
 func (k Kind) String() string {
@@ -91,8 +97,9 @@ func (k Kind) String() string {
 // encoding: the cache-independent projection of the event stream, a
 // pure function of (spec, seed) that is byte-identical whether a cell
 // was computed or served from cache. Execution-detail kinds (cache
-// hit/miss, silence instants, injections, recovery episodes) are
-// diagnostic: they flow to logging sinks but not into canonical logs.
+// hit/miss, silence instants, injections, recovery episodes, topology
+// churn) are diagnostic: they flow to logging sinks but not into
+// canonical logs.
 func (k Kind) Canonical() bool {
 	switch k {
 	case KindCampaignStart, KindCampaignFinish, KindCellStart,

@@ -25,7 +25,7 @@ func NewSlogSink(l *slog.Logger) SlogSink {
 
 func level(k Kind) slog.Level {
 	switch k {
-	case KindTrialStart, KindTrialFinish, KindSilence, KindInjection, KindRecovery:
+	case KindTrialStart, KindTrialFinish, KindSilence, KindInjection, KindRecovery, KindTopology:
 		return slog.LevelDebug
 	}
 	return slog.LevelInfo
@@ -67,6 +67,8 @@ func (s SlogSink) Observe(e Event) {
 		if e.Radius >= 0 {
 			attrs = append(attrs, slog.Int("ballRadius", e.Radius))
 		}
+	case KindTopology:
+		attrs = append(attrs, slog.Int("step", e.Step), slog.Int("affected", e.Count))
 	case KindRecovery:
 		attrs = append(attrs,
 			slog.Bool("recovered", e.Recovered), slog.Int("rounds", e.Round),

@@ -297,13 +297,16 @@ func NewSystem(g *graph.Graph, spec *model.Spec, colors []int) (*model.System, e
 }
 
 // MatchedEdges returns the edge set {{p,q}: PR.p and PR.q point at each
-// other}, each edge once with p < q.
+// other}, each edge once with p < q. On dynamic topologies an isolated
+// process can hold a dangling pointer (domains never shrink below
+// {0,1}, see model.ApplyTopology); a pointer beyond the live degree
+// addresses no port and is treated as free.
 func MatchedEdges(sys *model.System, cfg *model.Config) [][2]int {
 	g := sys.Graph()
 	var out [][2]int
 	for p := 0; p < g.N(); p++ {
 		pr := cfg.Comm[p][VarPR]
-		if pr == 0 {
+		if pr == 0 || pr > g.Degree(p) {
 			continue
 		}
 		q := g.Neighbor(p, pr)
@@ -335,6 +338,12 @@ func IsLegitimate(sys *model.System, cfg *model.Config) bool {
 		matchedWith[e[1]] = e[0] + 1
 	}
 	for p := 0; p < g.N(); p++ {
+		if g.Degree(p) == 0 {
+			// An isolated (crashed or churned-off) process is disabled by
+			// the degree-0 rule, so its frozen flags carry no matching
+			// meaning — and an isolated vertex belongs to no matching.
+			continue
+		}
 		pr := cfg.Comm[p][VarPR]
 		married := matchedWith[p] != 0
 		if married != (cfg.Comm[p][VarM] == 1) {
