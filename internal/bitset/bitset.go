@@ -73,6 +73,84 @@ func (s *Set) UnionInto(dst *Set) {
 	}
 }
 
+// OrInto is UnionInto under its conventional bulk-op name: dst |= s,
+// word by word (capacities must match).
+func (s *Set) OrInto(dst *Set) { s.UnionInto(dst) }
+
+// AndNot removes every element of o from the receiver: s &^= o, word by
+// word (capacities must match).
+func (s *Set) AndNot(o *Set) {
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Fill inserts every value in [0, Cap()), making the set full.
+func (s *Set) Fill() {
+	if s.n == 0 {
+		return
+	}
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	// Mask the tail word so bits at or above Cap() stay clear (Count,
+	// Empty and the word-level bulk ops rely on them being zero).
+	if tail := s.n % 64; tail != 0 {
+		s.words[len(s.words)-1] = (uint64(1) << tail) - 1
+	}
+}
+
+// NextSet returns the smallest element >= from, or -1 if none. It is
+// the iterator primitive of the lockstep batch loops: starting from 0
+// and re-calling with last+1 visits every element in ascending order
+// and, unlike ForEach, stays correct when the iteration body removes
+// elements (including the current one).
+func (s *Set) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return -1
+	}
+	wi := from / 64
+	w := s.words[wi] >> (from % 64)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// CountRange returns the number of elements in the half-open range
+// [lo, hi), clamped to [0, Cap()). It is a popcount over whole words
+// with masked boundary words, not a per-element scan.
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/64, (hi-1)/64
+	loMask := ^uint64(0) << (lo % 64)
+	hiMask := ^uint64(0) >> (63 - (hi-1)%64)
+	if loW == hiW {
+		return bits.OnesCount64(s.words[loW] & loMask & hiMask)
+	}
+	total := bits.OnesCount64(s.words[loW] & loMask)
+	for wi := loW + 1; wi < hiW; wi++ {
+		total += bits.OnesCount64(s.words[wi])
+	}
+	return total + bits.OnesCount64(s.words[hiW]&hiMask)
+}
+
 // ForEach calls fn for every element in ascending order.
 func (s *Set) ForEach(fn func(i int)) {
 	for wi, w := range s.words {

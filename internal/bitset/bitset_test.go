@@ -71,3 +71,153 @@ func TestUnionInto(t *testing.T) {
 		t.Fatal("UnionInto mutated the receiver")
 	}
 }
+
+// randomSet builds a set plus its naive []bool mirror from a cheap
+// deterministic LCG (the package cannot import internal/rng: rng's
+// subset sampler is a bitset client).
+func randomSet(n int, seed uint64) (*Set, []bool) {
+	s, mirror := New(n), make([]bool, n)
+	state := seed
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		if state>>63 == 1 {
+			s.Add(i)
+			mirror[i] = true
+		}
+	}
+	return s, mirror
+}
+
+// TestBulkOpsMatchNaive: AndNot, OrInto and Fill agree with the
+// element-by-element loops over every word-boundary-straddling capacity.
+func TestBulkOpsMatchNaive(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 7, 63, 64, 65, 127, 128, 129, 200} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			a, am := randomSet(n, seed)
+			b, bm := randomSet(n, seed*977+13)
+
+			andNot := New(n)
+			for i := 0; i < n; i++ {
+				if am[i] {
+					andNot.Add(i)
+				}
+			}
+			andNot.AndNot(b)
+			for i := 0; i < n; i++ {
+				if want := am[i] && !bm[i]; andNot.Has(i) != want {
+					t.Fatalf("n=%d seed=%d: AndNot at %d = %v, want %v", n, seed, i, andNot.Has(i), want)
+				}
+			}
+
+			or := New(n)
+			for i := 0; i < n; i++ {
+				if bm[i] {
+					or.Add(i)
+				}
+			}
+			a.OrInto(or)
+			for i := 0; i < n; i++ {
+				if want := am[i] || bm[i]; or.Has(i) != want {
+					t.Fatalf("n=%d seed=%d: OrInto at %d = %v, want %v", n, seed, i, or.Has(i), want)
+				}
+			}
+
+			full := New(n)
+			full.Fill()
+			if full.Count() != n {
+				t.Fatalf("n=%d: Fill Count = %d, want %d", n, full.Count(), n)
+			}
+			full.AndNot(full)
+			if !full.Empty() {
+				t.Fatalf("n=%d: s.AndNot(s) left elements", n)
+			}
+		}
+	}
+}
+
+// TestNextSetMatchesScan: iterating NextSet from 0 visits exactly the
+// naive ascending scan, and NextSet(from) equals the first mirror hit at
+// or after from for every starting point (including past-the-end).
+func TestNextSetMatchesScan(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 63, 64, 65, 129, 200} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			s, mirror := randomSet(n, seed)
+			var got []int
+			for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+				got = append(got, i)
+			}
+			want := s.Elems(nil)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d seed=%d: NextSet walk %v, want %v", n, seed, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d seed=%d: NextSet walk %v, want %v", n, seed, got, want)
+				}
+			}
+			for from := -1; from <= n+1; from++ {
+				want := -1
+				for i := max(from, 0); i < n; i++ {
+					if mirror[i] {
+						want = i
+						break
+					}
+				}
+				if got := s.NextSet(from); got != want {
+					t.Fatalf("n=%d seed=%d: NextSet(%d) = %d, want %d", n, seed, from, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNextSetSurvivesRemoval: the lockstep drain pattern — removing the
+// current element mid-iteration — still visits every remaining element.
+func TestNextSetSurvivesRemoval(t *testing.T) {
+	t.Parallel()
+	s, _ := randomSet(150, 42)
+	want := s.Elems(nil)
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+		s.Remove(i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("removal walk %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("removal walk %v, want %v", got, want)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("walk with removal left elements")
+	}
+}
+
+// TestCountRangeMatchesNaive: CountRange equals the per-element count
+// for every (lo, hi) pair over capacities straddling word boundaries,
+// including inverted and out-of-range bounds.
+func TestCountRangeMatchesNaive(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			s, mirror := randomSet(n, seed)
+			for lo := -2; lo <= n+2; lo++ {
+				for hi := -2; hi <= n+2; hi++ {
+					want := 0
+					for i := max(lo, 0); i < min(hi, n); i++ {
+						if mirror[i] {
+							want++
+						}
+					}
+					if got := s.CountRange(lo, hi); got != want {
+						t.Fatalf("n=%d seed=%d: CountRange(%d,%d) = %d, want %d", n, seed, lo, hi, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -30,6 +30,11 @@ type RunOptions struct {
 	// cold-cache and warm-cache runs (and across Parallelism values; see
 	// internal/obs).
 	Observer obs.Observer
+	// Batch is the lockstep trial batch width of plain (non-faulted)
+	// cells (engine.Config.BatchSize): 0 picks the auto width, 1
+	// disables batching. Records, events and cache entries are
+	// byte-identical at every width, so the cell fingerprint ignores it.
+	Batch int
 }
 
 // CellResult pairs one owned cell with its per-trial records.
@@ -120,6 +125,7 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 		// events carry sub-slice-local cell indices; remap them to the
 		// absolute campaign indices every other emitter uses.
 		runCfg := p.cfg
+		runCfg.BatchSize = opts.Batch
 		if opts.Observer != nil {
 			runCfg.Observer = remapObserver{o: opts.Observer, abs: abs}
 		}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// BatchOptions configures one lockstep batch of adversarial trials. It
+// is RunOptions without the per-trial fields: the seed comes per lane,
+// the scheduler is built (or reset) per lane from Sched/SchedName, and
+// events are not emitted here — the engine's batched cell loop
+// synthesizes the per-trial event stream at drain time, in trial order,
+// from the returned results.
+type BatchOptions struct {
+	// SchedName and Sched name and build the per-lane scheduler from the
+	// lane's trial seed (both required; the name keys the per-lane
+	// scheduler cache exactly like Runner.Scheduler).
+	SchedName string
+	Sched     func(uint64) model.Scheduler
+	// MaxSteps bounds each lane's search for silence (required, > 0).
+	MaxSteps int
+	// CheckEvery is the per-lane silence-check period (default 1).
+	CheckEvery int
+	// SuffixRounds and Legitimate are RunOptions' fields, applied per
+	// lane at its silence point.
+	SuffixRounds int
+	Legitimate   func(*model.System, *model.Config) bool
+}
+
+// batchLane is the per-trial state of one lockstep lane: everything a
+// trial cannot share — its configuration view, simulator bookkeeping,
+// recorder, scheduler and seed streams — while the step arena and the
+// silence probe live once per BatchRunner in the shared StepScratch.
+type batchLane struct {
+	rec       *trace.Recorder
+	sim       model.Simulator
+	schedName string
+	sched     model.Scheduler
+	initSrc   rng.SplitMix
+	initRand  *rng.Rand
+}
+
+func (ln *batchLane) scheduler(name string, seed uint64, mk func(uint64) model.Scheduler) model.Scheduler {
+	if ln.sched != nil && name != "" && ln.schedName == name {
+		if rs, ok := ln.sched.(resettableScheduler); ok {
+			rs.Reset(seed)
+			return ln.sched
+		}
+	}
+	ln.sched = mk(seed)
+	ln.schedName = name
+	return ln.sched
+}
+
+// BatchRunner advances a batch of B independent trials of one cell in
+// lockstep over shared immutable topology: per-lane configurations live
+// trials-major in one contiguous struct-of-arrays block (NewConfigBatch),
+// the per-step execution arena and orbit probe are shared across lanes
+// (StepScratch), and the still-running lanes are tracked in a bitset
+// word (64 trials per word) that the super-step loop walks with NextSet.
+// Lanes that converge early retire raggedly — report, final-config copy,
+// suffix recording — without stalling the rest of the word.
+//
+// Every lane is an exact replica of Runner.RunRandom's per-trial
+// computation on lane-local state, so results are bit-identical to the
+// unbatched path for the same seeds, at any batch width. Like Runner, a
+// BatchRunner is not safe for concurrent use; the engine builds one per
+// worker.
+type BatchRunner struct {
+	sys     *model.System
+	scratch *model.StepScratch
+
+	lanes  []*batchLane
+	cfgs   []*model.Config // trials-major SoA lane configurations
+	rands  []*rng.Rand     // rands[l] wraps lanes[l].initSrc
+	active *bitset.Set     // lanes still searching for silence
+}
+
+// NewBatchRunner returns an empty BatchRunner; lanes and buffers bind
+// lazily on first use and are reused across batches and cells.
+func NewBatchRunner() *BatchRunner {
+	return &BatchRunner{scratch: model.NewStepScratch()}
+}
+
+// bind sizes the runner for a batch of b lanes over sys, reusing every
+// buffer when the system is unchanged and the capacity suffices.
+func (r *BatchRunner) bind(sys *model.System, b int) {
+	if len(r.lanes) < b {
+		for len(r.lanes) < b {
+			ln := &batchLane{}
+			ln.initRand = rng.FromSource(&ln.initSrc)
+			r.lanes = append(r.lanes, ln)
+		}
+		r.active = bitset.New(len(r.lanes))
+		r.sys = nil // lane configs must be rebuilt at the new width
+	}
+	if r.sys != sys {
+		r.sys = sys
+		r.cfgs = model.NewConfigBatch(sys, len(r.lanes))
+		if r.rands == nil || len(r.rands) < len(r.lanes) {
+			r.rands = make([]*rng.Rand, len(r.lanes))
+		}
+		for l, ln := range r.lanes {
+			r.rands[l] = ln.initRand
+		}
+	}
+}
+
+// RunRandomBatch executes len(seeds) adversarial trials in lockstep and
+// fills res trial by trial: res[l] is exactly the result Runner.RunRandom
+// would produce for seeds[l] (res buffers are reused across batches like
+// Runner.Run's). The system must be static — lanes share it, and a
+// dynamic system's topology mutations could not be lane-local.
+func (r *BatchRunner) RunRandomBatch(sys *model.System, opts BatchOptions, seeds []uint64, res []RunResult) error {
+	nb := len(seeds)
+	switch {
+	case nb == 0:
+		return nil
+	case len(res) != nb:
+		return fmt.Errorf("core: RunRandomBatch with %d seeds but %d result slots", nb, len(res))
+	case opts.Sched == nil:
+		return fmt.Errorf("core: BatchOptions.Sched is required")
+	case opts.MaxSteps <= 0:
+		return fmt.Errorf("core: BatchOptions.MaxSteps must be positive")
+	case sys.Dynamic():
+		return fmt.Errorf("core: lockstep batching requires a static system (dynamic topologies run unbatched)")
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	r.bind(sys, nb)
+
+	// Draw every lane's initial configuration: per-lane streams reseeded
+	// exactly like RunRandom, domain tables walked once for the batch.
+	for l := 0; l < nb; l++ {
+		r.lanes[l].initSrc.Reseed(seeds[l])
+	}
+	model.RandomizeConfigBatch(sys, r.cfgs[:nb], r.rands[:nb])
+
+	r.active.Clear()
+	for l := 0; l < nb; l++ {
+		ln := r.lanes[l]
+		if ln.rec == nil {
+			ln.rec = trace.NewRecorder(sys.N())
+		} else {
+			ln.rec.Reset(sys.N())
+		}
+		sched := ln.scheduler(opts.SchedName, seeds[l], opts.Sched)
+		if err := ln.sim.ResetShared(sys, r.cfgs[l], sched, seeds[l], ln.rec, r.scratch); err != nil {
+			return fmt.Errorf("core: batch lane %d: %w", l, err)
+		}
+		r.active.Add(l)
+	}
+
+	// RunUntilSilent checks the initial configuration before stepping;
+	// already-silent lanes retire before the first super-step.
+	for l := 0; l < nb; l++ {
+		silent, err := r.lanes[l].sim.SilentNow()
+		if err != nil {
+			return fmt.Errorf("core: batch lane %d: %w", l, err)
+		}
+		if silent {
+			r.retire(l, true, opts, &res[l])
+		}
+	}
+
+	// Super-step loop: every still-active lane advances one step per
+	// sweep, checking silence on its own CheckEvery grid; each lane's
+	// step/check/retire sequence is exactly Runner.Run's, only
+	// interleaved across lanes.
+	for !r.active.Empty() {
+		for l := r.active.NextSet(0); l >= 0; l = r.active.NextSet(l + 1) {
+			sim := &r.lanes[l].sim
+			if sim.Steps() >= opts.MaxSteps {
+				silent, err := sim.SilentNow()
+				if err != nil {
+					return fmt.Errorf("core: batch lane %d: %w", l, err)
+				}
+				r.retire(l, silent, opts, &res[l])
+				continue
+			}
+			sim.Step()
+			if sim.Steps()%checkEvery == 0 {
+				silent, err := sim.SilentNow()
+				if err != nil {
+					return fmt.Errorf("core: batch lane %d: %w", l, err)
+				}
+				if silent {
+					r.retire(l, true, opts, &res[l])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// retire finalizes lane l into out — steps/rounds at the stopping
+// point, legitimacy on the silent configuration, suffix recording,
+// report and final-config copy, in exactly Runner.Run's order — and
+// clears its active bit so the super-step loop stops advancing it.
+func (r *BatchRunner) retire(l int, silent bool, opts BatchOptions, out *RunResult) {
+	ln := r.lanes[l]
+	out.Silent = silent
+	out.StepsToSilence = ln.sim.Steps()
+	out.RoundsToSilence = ln.sim.Rounds()
+	out.LegitimateAtSilence = false
+	if silent && opts.Legitimate != nil {
+		out.LegitimateAtSilence = opts.Legitimate(r.sys, ln.sim.Config())
+	}
+	if silent && opts.SuffixRounds > 0 {
+		ln.rec.MarkSuffix()
+		ln.sim.RunRounds(opts.SuffixRounds)
+	}
+	ln.rec.ReportInto(&out.Report)
+	if out.Final == nil {
+		out.Final = model.NewZeroConfig(r.sys)
+	}
+	out.Final.CopyFrom(ln.sim.Config())
+	r.active.Remove(l)
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/protocols/coloring"
+	"repro/internal/sched"
+)
+
+// TestBatchRunnerMatchesRunner is the lockstep determinism contract at
+// the core level: for every batch width — including 1, a partial word,
+// a full bitset word and one past it — each lane's result is deep-equal
+// to the unbatched Runner's for the same seed, across systems and
+// schedulers, with one BatchRunner reused throughout.
+func TestBatchRunnerMatchesRunner(t *testing.T) {
+	t.Parallel()
+	systems := runnerTestSystems(t)
+	schedulers := []struct {
+		name string
+		mk   func(uint64) model.Scheduler
+	}{
+		{"random-subset", func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }},
+		{"synchronous", func(uint64) model.Scheduler { return sched.NewSynchronous() }},
+		{"central-rr", func(uint64) model.Scheduler { return sched.NewCentralRoundRobin() }},
+		{"laziest-fair", func(uint64) model.Scheduler { return sched.NewLaziestFair() }},
+	}
+	widths := []int{1, 3, 64, 65}
+	if testing.Short() {
+		widths = []int{1, 3, 65}
+	}
+	br := NewBatchRunner()
+	rn := NewRunner()
+	for _, ts := range systems {
+		for _, sc := range schedulers {
+			for _, b := range widths {
+				seeds := make([]uint64, b)
+				for i := range seeds {
+					seeds[i] = uint64(1000*b + i + 1)
+				}
+				opts := BatchOptions{
+					SchedName:    sc.name,
+					Sched:        sc.mk,
+					MaxSteps:     200000,
+					CheckEvery:   1,
+					SuffixRounds: 3,
+					Legitimate:   ts.legit,
+				}
+				got := make([]RunResult, b)
+				if err := br.RunRandomBatch(ts.sys, opts, seeds, got); err != nil {
+					t.Fatalf("%s/%s/b=%d: %v", ts.name, sc.name, b, err)
+				}
+				var want RunResult
+				for i, seed := range seeds {
+					err := rn.RunRandom(ts.sys, RunOptions{
+						Scheduler:    rn.Scheduler(sc.name, seed, sc.mk),
+						Seed:         seed,
+						MaxSteps:     200000,
+						CheckEvery:   1,
+						SuffixRounds: 3,
+						Legitimate:   ts.legit,
+					}, &want)
+					if err != nil {
+						t.Fatalf("%s/%s/b=%d seed %d: unbatched: %v", ts.name, sc.name, b, seed, err)
+					}
+					if !reflect.DeepEqual(want, got[i]) {
+						t.Fatalf("%s/%s/b=%d lane %d (seed %d): batched result differs from unbatched:\nwant %+v\ngot  %+v",
+							ts.name, sc.name, b, i, seed, want, got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRunnerRaggedReuse: reusing one BatchRunner across shrinking
+// and growing widths and across systems (stale lanes from a wider batch
+// must not leak into a narrower one).
+func TestBatchRunnerRaggedReuse(t *testing.T) {
+	t.Parallel()
+	systems := runnerTestSystems(t)
+	mk := func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) }
+	br := NewBatchRunner()
+	rn := NewRunner()
+	seed := uint64(77)
+	for _, b := range []int{8, 3, 8, 1, 5} {
+		for _, ts := range systems {
+			seeds := make([]uint64, b)
+			for i := range seeds {
+				seed++
+				seeds[i] = seed
+			}
+			got := make([]RunResult, b)
+			opts := BatchOptions{SchedName: "random-subset", Sched: mk, MaxSteps: 200000, CheckEvery: 1}
+			if err := br.RunRandomBatch(ts.sys, opts, seeds, got); err != nil {
+				t.Fatalf("%s/b=%d: %v", ts.name, b, err)
+			}
+			var want RunResult
+			for i, s := range seeds {
+				err := rn.RunRandom(ts.sys, RunOptions{
+					Scheduler: rn.Scheduler("random-subset", s, mk),
+					Seed:      s, MaxSteps: 200000, CheckEvery: 1,
+				}, &want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got[i]) {
+					t.Fatalf("%s/b=%d lane %d: differs after reuse", ts.name, b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRunnerRejectsDynamic: lanes share the system, so a mutable
+// topology cannot be batched.
+func TestBatchRunnerRejectsDynamic(t *testing.T) {
+	t.Parallel()
+	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := sys.MutableCopy()
+	br := NewBatchRunner()
+	opts := BatchOptions{
+		SchedName: "random-subset",
+		Sched:     func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) },
+		MaxSteps:  1000,
+	}
+	if err := br.RunRandomBatch(dyn, opts, []uint64{1, 2}, make([]RunResult, 2)); err == nil {
+		t.Fatal("RunRandomBatch accepted a dynamic system")
+	}
+}
+
+// TestBatchedTrialLoopZeroAlloc is the batched counterpart of
+// TestTrialLoopZeroAlloc: a complete steady-state batch — per-lane
+// reseed, batched randomize, recorder+simulator resets, lockstep run to
+// silence, ragged retires with suffix recording and result fill —
+// allocates nothing beyond the amortized round-boundary appends.
+func TestBatchedTrialLoopZeroAlloc(t *testing.T) {
+	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 16
+	br := NewBatchRunner()
+	res := make([]RunResult, b)
+	seeds := make([]uint64, b)
+	seed := uint64(0)
+	opts := BatchOptions{
+		SchedName:    "random-subset",
+		Sched:        func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) },
+		MaxSteps:     200000,
+		CheckEvery:   1,
+		SuffixRounds: 2,
+		Legitimate:   coloring.IsLegitimate,
+	}
+	batch := func() {
+		for i := range seeds {
+			seed++
+			seeds[i] = seed
+		}
+		if err := br.RunRandomBatch(sys, opts, seeds, res); err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if !res[i].Silent {
+				t.Fatal("batched trial did not converge")
+			}
+		}
+	}
+	// Warm up: bind lanes, grow report and round-boundary buffers to
+	// steady-state capacity.
+	for i := 0; i < 25; i++ {
+		batch()
+	}
+	if avg := testing.AllocsPerRun(50, batch); avg != 0 {
+		t.Fatalf("steady-state batched trial loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkBatchedTrials measures the complete lockstep trial pipeline
+// at several batch widths on BenchmarkTrialLoop's workload (Cycle(9)
+// coloring under the random-subset daemon, silence checked every step).
+// ns/op is per TRIAL, not per batch, so the sub-benchmarks are directly
+// comparable to each other and to BenchmarkTrialLoop; b=1 is the
+// lockstep machinery running unbatched.
+func BenchmarkBatchedTrials(b *testing.B) {
+	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, width := range []int{1, 8, 16, 64} {
+		b.Run("b="+itoa(width), func(b *testing.B) {
+			br := NewBatchRunner()
+			res := make([]RunResult, width)
+			seeds := make([]uint64, width)
+			opts := BatchOptions{
+				SchedName:  "random-subset",
+				Sched:      func(s uint64) model.Scheduler { return sched.NewRandomSubset(s) },
+				MaxSteps:   200000,
+				CheckEvery: 1,
+			}
+			b.ReportAllocs()
+			seed := uint64(0)
+			for i := 0; i < b.N; i += width {
+				for k := range seeds {
+					seeds[k] = seed%64 + 1
+					seed++
+				}
+				if err := br.RunRandomBatch(sys, opts, seeds, res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

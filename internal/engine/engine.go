@@ -116,6 +116,36 @@ type Config struct {
 	// Stop, when enabled, replaces the fixed Trials budget on the fold
 	// paths with sequential stopping; see StopRule.
 	Stop StopRule
+	// BatchSize selects the lockstep trial batch width of the cell-affine
+	// fold paths: a cell that provides RunBatchOn advances up to
+	// BatchSize trials together on the worker's BatchRunner, sharing one
+	// step arena and orbit probe across lanes. 0 picks the auto width
+	// (16, or 1 when Stop is enabled — lockstep lanes run ahead of the
+	// stopping decision and would mostly be discarded); 1 disables
+	// batching. Results, fold order and the event stream are identical at
+	// every width: trials retire raggedly inside the batch and are
+	// drained — events, fold, stop rule — strictly in trial order.
+	BatchSize int
+}
+
+// autoBatchWidth is the lockstep width BatchSize=0 selects for batchable
+// cells without a stop rule: wide enough to amortize the shared step
+// scratch, narrow enough that a cell's tail chunk stays mostly full.
+const autoBatchWidth = 16
+
+// batchWidth resolves the lockstep width for one cell.
+func (c Config) batchWidth(cell *Cell) int {
+	if cell.RunBatchOn == nil {
+		return 1
+	}
+	b := c.BatchSize
+	if b <= 0 {
+		if c.Stop.Enabled() {
+			return 1
+		}
+		b = autoBatchWidth
+	}
+	return b
 }
 
 // WithDefaults fills unset fields with the engine defaults.
@@ -155,6 +185,14 @@ type Cell struct {
 	// trial, filling a FaultResult in place. Cells of this form run only
 	// under RunFaultCellsReduce.
 	RunFaultOn func(rn *core.Runner, trial int, seed uint64, res *core.FaultResult) error
+	// RunBatchOn, when non-nil, executes len(seeds) trials of the cell in
+	// lockstep on the worker's reusable BatchRunner: res[k] must be
+	// exactly the result RunOn would produce for seeds[k]. Optional
+	// companion to RunOn, used only by RunCellsReduce when the resolved
+	// batch width exceeds 1; cells whose trials cannot share a system
+	// (faulted or dynamic topologies) leave it nil and always run
+	// per-trial.
+	RunBatchOn func(br *core.BatchRunner, seeds []uint64, res []core.RunResult) error
 }
 
 // runTrial executes one trial of c, materializing into reuse when
@@ -233,12 +271,11 @@ func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
 func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.RunResult) error) error {
 	cfg = cfg.WithDefaults()
 	cellSeeds := cellSeedsFor(cfg, cells)
-	type wctx struct {
-		rn  *core.Runner
-		res core.RunResult
-	}
-	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
-		func(w *wctx, i int) error {
+	return forEachCtx(cfg.Parallelism, len(cells), func() *reduceCtx { return &reduceCtx{rn: core.NewRunner()} },
+		func(w *reduceCtx, i int) error {
+			if width := cfg.batchWidth(&cells[i]); width > 1 {
+				return runCellReduceBatched(cfg, &cells[i], i, cellSeeds[i], w, width, fold)
+			}
 			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: i, Key: cells[i].Key, Trial: -1})
 			budget := cfg.Trials
 			if cfg.Stop.Enabled() {
@@ -270,6 +307,83 @@ func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *co
 			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: i, Key: cells[i].Key, Trial: -1, Count: realized})
 			return nil
 		})
+}
+
+// reduceCtx is the per-worker state of the fold paths: the reusable
+// per-trial Runner plus, bound lazily on the first batched cell, the
+// lockstep BatchRunner with its seed and result buffers.
+type reduceCtx struct {
+	rn  *core.Runner
+	res core.RunResult
+
+	br       *core.BatchRunner
+	seeds    []uint64
+	batchRes []core.RunResult
+}
+
+// runCellReduceBatched runs one cell of RunCellsReduce at lockstep width
+// `width`: trials execute in chunks of up to `width` lanes on the
+// worker's BatchRunner, and every chunk is drained strictly in trial
+// order — per-trial events (trial-start, the silence diagnostic,
+// trial-finish) are synthesized at drain time from the lane results,
+// then the result folds, then the stop rule sees it. The synthesized
+// stream and fold sequence are exactly the unbatched loop's; under an
+// enabled stop rule, lanes past the stopping trial are computed but
+// discarded unseen, so the realized count matches the unbatched run.
+func runCellReduceBatched(cfg Config, cell *Cell, i int, cellSeed uint64, w *reduceCtx,
+	width int, fold func(cell, trial int, res *core.RunResult) error) error {
+	if w.br == nil {
+		w.br = core.NewBatchRunner()
+	}
+	obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: i, Key: cell.Key, Trial: -1})
+	budget := cfg.Trials
+	if cfg.Stop.Enabled() {
+		budget = cfg.Stop.Max
+	}
+	var rounds stats.Stream
+	realized := 0
+drain:
+	for base := 0; base < budget; base += width {
+		b := width
+		if rem := budget - base; b > rem {
+			b = rem
+		}
+		w.seeds = w.seeds[:0]
+		for k := 0; k < b; k++ {
+			w.seeds = append(w.seeds, rng.Derive(cellSeed, uint64(base+k)))
+		}
+		for cap(w.batchRes) < b {
+			w.batchRes = append(w.batchRes[:cap(w.batchRes)], core.RunResult{})
+		}
+		w.batchRes = w.batchRes[:b]
+		if err := cell.RunBatchOn(w.br, w.seeds, w.batchRes); err != nil {
+			return fmt.Errorf("cell %q trials %d..%d: %w", cell.Key, base, base+b-1, err)
+		}
+		for k := 0; k < b; k++ {
+			trial := base + k
+			res := &w.batchRes[k]
+			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialStart, Cell: i, Key: cell.Key, Trial: trial, Seed: w.seeds[k]})
+			if res.Silent {
+				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindSilence, Cell: i, Key: cell.Key, Trial: trial,
+					Step: res.StepsToSilence, Round: res.RoundsToSilence})
+			}
+			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialFinish, Cell: i, Key: cell.Key, Trial: trial,
+				Silent: res.Silent, Legit: res.LegitimateAtSilence,
+				Step: res.StepsToSilence, Round: res.RoundsToSilence})
+			if err := fold(i, trial, res); err != nil {
+				return fmt.Errorf("cell %q trial %d: %w", cell.Key, trial, err)
+			}
+			realized = trial + 1
+			if cfg.Stop.Enabled() {
+				rounds.Add(float64(res.RoundsToSilence))
+				if cfg.Stop.done(realized, &rounds) {
+					break drain
+				}
+			}
+		}
+	}
+	obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: i, Key: cell.Key, Trial: -1, Count: realized})
+	return nil
 }
 
 // RunFaultCellsReduce is RunCellsReduce for injected trials: every cell

@@ -137,6 +137,91 @@ func TestReduceMatchesMaterialized(t *testing.T) {
 	}
 }
 
+// TestReduceBatchWidths is the lockstep-batching equivalence contract:
+// for every batch width — off (1), ragged (3 against 4 trials), a full
+// word (64) and a word boundary crossing (65) — and every parallelism,
+// the streaming fold path produces results deep-equal to the unbatched
+// materialized path, trial by trial and in trial order.
+func TestReduceBatchWidths(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Seed: 31, Trials: 4, MaxSteps: 400000, Quick: true}
+	graphs, err := suite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []ProtoCell
+	for _, g := range graphs {
+		specs = append(specs,
+			ProtoCell{Graph: g, Family: FamColoring, SuffixRounds: 2},
+			ProtoCell{Graph: g, Family: FamMatching},
+		)
+	}
+	cfg.Parallelism = 1
+	cfg.Batch = 1
+	want, err := RunProtoCells(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 3, 64, 65} {
+		for _, par := range []int{1, 4} {
+			cfg.Batch = batch
+			cfg.Parallelism = par
+			lastTrial := make([]int, len(specs))
+			for i := range lastTrial {
+				lastTrial[i] = -1
+			}
+			err := RunProtoCellsReduce(cfg, specs, func(cell, trial int, res *core.RunResult) error {
+				if trial != lastTrial[cell]+1 {
+					return fmt.Errorf("cell %d: fold at trial %d after trial %d (want in-order)", cell, trial, lastTrial[cell])
+				}
+				lastTrial[cell] = trial
+				if !reflect.DeepEqual(*want[cell][trial], *res) {
+					return fmt.Errorf("cell %d trial %d: batched result differs from unbatched", cell, trial)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("batch %d parallelism %d: %v", batch, par, err)
+			}
+			for i, last := range lastTrial {
+				if last != cfg.Trials-1 {
+					t.Fatalf("batch %d parallelism %d: cell %d folded %d trials, want %d", batch, par, i, last+1, cfg.Trials)
+				}
+			}
+		}
+	}
+}
+
+// TestRegistryTablesAcrossBatchWidths: the registry's rendered tables
+// are byte-identical whether the fold paths run unbatched, at the auto
+// width or at a width far beyond the trial budget — including the
+// faulted experiments, whose cells have no batched form and must be
+// bit-for-bit indifferent to the knob. E12's concurrent runtime is
+// wall-clock-dependent by design and excluded.
+func TestRegistryTablesAcrossBatchWidths(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full registry sweep is a long test")
+	}
+	for _, e := range Registry() {
+		if e.ID == "E12" {
+			continue
+		}
+		var tables []string
+		for _, batch := range []int{1, 0, 65} {
+			cfg := Config{Seed: 2009, Trials: 3, MaxSteps: 400000, Quick: true, Parallelism: 2, Batch: batch}
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s batch %d: %v", e.ID, batch, err)
+			}
+			tables = append(tables, res.Table.String())
+		}
+		if tables[0] != tables[1] || tables[0] != tables[2] {
+			t.Fatalf("%s: tables differ across batch widths 1/auto/65", e.ID)
+		}
+	}
+}
+
 // TestRegistryTablesAcrossSeedsAndParallelism is the acceptance-level
 // determinism check: for fixed seeds the rendered tables of the
 // registry's pool-driven experiments are byte-identical between

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // BFS returns the distance (in hops) from src to every process, with -1
 // for unreachable processes.
@@ -128,6 +131,9 @@ func (g *Graph) LongestPathExact(maxNodes int) (int, error) {
 	if g.IsTree() {
 		return g.treeLongestPath(), nil
 	}
+	if g.N() <= 64 {
+		return g.longestPathMasked(), nil
+	}
 	best := 0
 	visited := make([]bool, g.N())
 	var dfs func(p, length int)
@@ -147,6 +153,52 @@ func (g *Graph) LongestPathExact(maxNodes int) (int, error) {
 		dfs(s, 0)
 	}
 	return best, nil
+}
+
+// longestPathMasked is the exhaustive longest-path search on bitmask
+// adjacency (n <= 64) with a reachability bound: a branch whose current
+// length plus the number of still-reachable unvisited vertices cannot
+// beat the incumbent is cut. The bound only ever discards paths proven
+// no longer than the best, so the result equals the unpruned search's.
+func (g *Graph) longestPathMasked() int {
+	n := g.N()
+	adj := make([]uint64, n)
+	for p, row := range g.adj {
+		for _, q := range row {
+			adj[p] |= 1 << uint(q)
+		}
+	}
+	best := 0
+	var dfs func(p int, visited uint64, length int)
+	dfs = func(p int, visited uint64, length int) {
+		if length > best {
+			best = length
+		}
+		// Flood the unvisited region reachable from p word-parallel; at
+		// most popcount-1 further edges can be appended to this path.
+		free := ^visited
+		r := uint64(1) << uint(p)
+		frontier := adj[p] & free
+		for frontier != 0 {
+			r |= frontier
+			next := uint64(0)
+			for f := frontier; f != 0; f &= f - 1 {
+				next |= adj[bits.TrailingZeros64(f)]
+			}
+			frontier = next & free &^ r
+		}
+		if length+bits.OnesCount64(r)-1 <= best {
+			return
+		}
+		for m := adj[p] & free; m != 0; m &= m - 1 {
+			q := bits.TrailingZeros64(m)
+			dfs(q, visited|1<<uint(q), length+1)
+		}
+	}
+	for s := 0; s < n; s++ {
+		dfs(s, 1<<uint(s), 0)
+	}
+	return best
 }
 
 // treeLongestPath computes the tree diameter (= longest path) by double

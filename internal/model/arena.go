@@ -19,6 +19,8 @@ type stepArena struct {
 	fired       []int  // per selected index: fired action or -1
 	commChanged []bool // per selected index: did p's comm row change
 
+	readBuf []ReadRec // batched-read accumulation (see BatchReadObserver)
+
 	src      rng.SplitMix
 	rand     *rng.Rand // wraps &src; reseeded per process
 	stepSeed uint64
@@ -40,6 +42,8 @@ func newStepArena(sys *System) *stepArena {
 		c := &a.ctxs[p]
 		c.sys = sys
 		c.p = p
+		c.arena = a
+		c.randP = p
 		c.comm = a.commScratch[p*wc : (p+1)*wc : (p+1)*wc]
 		c.internal = a.internalScratch[p*wi : (p+1)*wi : (p+1)*wi]
 	}
@@ -60,20 +64,27 @@ func (a *stepArena) processRand(p int) *rng.Rand {
 // two-phase semantics (evaluate every selected process against the
 // pre-step configuration, then commit all writes), with no per-step heap
 // allocation. Each process draws from the arena generator reseeded for
-// (stepSeed, p). The returned slices are owned by the arena and valid
-// until the next call.
-func (a *stepArena) executeStep(cfg *Config, selected []int, step int, obs Observer) (fired []int, commChanged []bool) {
+// (stepSeed, p). batchObs is obs's BatchReadObserver form (nil if it has
+// none), precomputed by the caller so the hot loop never type-asserts.
+// The returned slices are owned by the arena and valid until the next
+// call.
+func (a *stepArena) executeStep(cfg *Config, selected []int, step int, obs Observer, batchObs BatchReadObserver) (fired []int, commChanged []bool) {
+	batching := batchObs != nil
 	fired = a.fired[:0]
 	for _, p := range selected {
 		c := &a.ctxs[p]
 		c.pre = cfg
 		c.obs = obs
 		c.step = step
-		c.cacheIndex = nil
-		c.rand = a.processRand(p)
+		c.rand = nil // reseeded lazily on the first Rand call (see Ctx.Rand)
+		c.recordBatch = batching
 		copy(c.comm, cfg.Comm[p])
 		copy(c.internal, cfg.Internal[p])
 		f := execOne(c)
+		if batching && len(a.readBuf) > 0 {
+			batchObs.ReadBatch(step, p, a.readBuf)
+			a.readBuf = a.readBuf[:0]
+		}
 		fired = append(fired, f)
 		if obs != nil {
 			obs.ActionFired(step, p, f)

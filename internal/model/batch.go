@@ -1,0 +1,98 @@
+package model
+
+import "repro/internal/rng"
+
+// Lockstep trial batching support: a worker advancing B independent
+// trials of one (system, scheduler) cell in lockstep keeps the per-trial
+// state — configurations, simulators, trackers — per lane, but shares
+// the stateless per-step execution scratch across the whole batch. Two
+// pieces make that possible:
+//
+//   - NewConfigBatch lays the B lane configurations out trials-major in
+//     one contiguous struct-of-arrays backing, so the batch's working
+//     set is one dense block instead of B scattered allocations;
+//   - StepScratch bundles the step arena and the silence probe, whose
+//     buffers carry no state across calls, so one instance serves every
+//     lane of a batch stepped sequentially.
+
+// StepScratch is the shared per-step execution state — the reusable
+// step arena behind Simulator.Step and the orbit probe behind
+// SilentNow — for a group of simulators over one system. Neither
+// component retains information between calls (the arena's scratch rows
+// and seed are rewritten per step, the probe's orbit buffer per probe),
+// so sharing changes no verdict and no stream; it only deduplicates the
+// largest per-simulator buffers. The simulators must be stepped
+// sequentially: a StepScratch is not safe for concurrent use, and it
+// must not be shared across simulators of a dynamic (mutable-topology)
+// system, whose domain tables change under the probe's encoding cache.
+type StepScratch struct {
+	sys   *System
+	arena *stepArena
+	probe orbitProbe
+}
+
+// NewStepScratch returns an unbound scratch; it binds lazily to the
+// system of the first ResetShared that uses it, and rebinds (rebuilding
+// the arena) when the system changes.
+func NewStepScratch() *StepScratch { return &StepScratch{} }
+
+func (sc *StepScratch) bind(sys *System) {
+	if sc.sys == sys {
+		return
+	}
+	sc.sys = sys
+	sc.arena = newStepArena(sys)
+	sc.probe.bind(sys)
+}
+
+// NewConfigBatch returns b all-zero configurations for s laid out
+// trials-major in one contiguous backing: lane l's flat commData is the
+// l-th slab of a single []int (likewise internalData), so a batch of
+// trials walked in lockstep reads and writes one dense region. Each
+// returned Config is a full flat-layout configuration — Clone, CopyFrom,
+// Equal and Validate behave exactly as for NewZeroConfig — but callers
+// must not grow a lane's rows (the slabs are capacity-capped).
+func NewConfigBatch(s *System, b int) []*Config {
+	n, wc, wi := s.N(), len(s.spec.Comm), len(s.spec.Internal)
+	commData := make([]int, b*n*wc)
+	internalData := make([]int, b*n*wi)
+	out := make([]*Config, b)
+	for l := 0; l < b; l++ {
+		c := &Config{
+			Comm:         make([][]int, n),
+			Internal:     make([][]int, n),
+			commData:     commData[l*n*wc : (l+1)*n*wc : (l+1)*n*wc],
+			internalData: internalData[l*n*wi : (l+1)*n*wi : (l+1)*n*wi],
+		}
+		for p := 0; p < n; p++ {
+			c.Comm[p] = c.commData[p*wc : (p+1)*wc : (p+1)*wc]
+			c.Internal[p] = c.internalData[p*wi : (p+1)*wi : (p+1)*wi]
+		}
+		out[l] = c
+	}
+	return out
+}
+
+// RandomizeConfigBatch overwrites cfgs[l] with the configuration
+// RandomizeConfig(s, cfgs[l], rands[l]) would draw, for every lane l.
+// Iteration is process-major across lanes so the per-process domain
+// tables are read once per batch instead of once per trial, but each
+// lane consumes its own generator in exactly RandomizeConfig's draw
+// order — lane l's configuration is bit-identical to the unbatched
+// path's for the same generator state.
+func RandomizeConfigBatch(s *System, cfgs []*Config, rands []*rng.Rand) {
+	for p := 0; p < s.N(); p++ {
+		cd, id := s.commDomains[p], s.internalDomains[p]
+		for l, cfg := range cfgs {
+			r := rands[l]
+			row := cfg.Comm[p]
+			for v := range row {
+				row[v] = r.Intn(cd[v])
+			}
+			row = cfg.Internal[p]
+			for v := range row {
+				row[v] = r.Intn(id[v])
+			}
+		}
+	}
+}

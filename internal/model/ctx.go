@@ -26,6 +26,47 @@ type Observer interface {
 	StepEnd(step int, selected []int, roundCompleted bool)
 }
 
+// ReadRec is one recorded neighbor read, as delivered in bulk to a
+// BatchReadObserver.
+type ReadRec struct {
+	Q    int
+	Kind VarKind
+	V    int
+	Bits int
+}
+
+// BatchReadObserver is an optional Observer extension for the hot read
+// path: when the step engine's observer implements it, each process
+// evaluation's neighbor reads are accumulated in a flat buffer and
+// delivered in one ReadBatch call (same reads, same order) instead of
+// one interface dispatch per read. Observers that do per-read work
+// dominated by call overhead (the trace recorder) implement it; all
+// other observers keep receiving individual Read calls.
+type BatchReadObserver interface {
+	Observer
+	// ReadBatch receives every read of one process evaluation: process p
+	// read reads[i] in order during the given step.
+	ReadBatch(step, p int, reads []ReadRec)
+}
+
+// ReplayObserver is an optional BatchReadObserver extension consumed by
+// the simulator's silent-phase replay fast path. A replayed selection's
+// effect on the observer is a pure function of the memoized transition,
+// so instead of re-delivering the raw Read/ActionFired stream the
+// simulator hands over the precomputed aggregate: the distinct
+// neighbors read, the deduplicated per-step read count and bit sum, and
+// the fired action (-1 when disabled). Implementations must fold the
+// aggregate exactly as the equivalent Read...Read/ActionFired/StepEnd
+// sequence would have — additions commute and set insertions are
+// idempotent, so the resulting statistics are identical.
+type ReplayObserver interface {
+	BatchReadObserver
+	// ReplaySelection records one selection of process p that read the
+	// given distinct neighbors (reads = len(neighbors) distinct
+	// neighbors, bits = deduplicated bit total) and fired action `fired`.
+	ReplaySelection(p int, neighbors []int, reads, bits, fired int)
+}
+
 // Ctx is the window through which a process's guarded actions see the
 // system: its own variables (read/write) and its neighbors'
 // communication state (read-only, instrumented).
@@ -46,6 +87,19 @@ type Ctx struct {
 	rand        *rng.Rand
 	randAllowed bool
 
+	// Arena back-pointer (arena-driven evaluation only), serving two hot
+	// paths: lazy per-process reseeding — most applies never draw, so
+	// the (stepSeed, p) reseed is deferred until the first Rand call of
+	// the body — and batched read recording (see recordBatch).
+	arena *stepArena
+	randP int
+
+	// recordBatch routes neighbor reads into the arena's flat ReadRec
+	// buffer (flushed once per process evaluation) instead of one
+	// obs.Read dispatch per read; executeStep sets it when the observer
+	// implements BatchReadObserver.
+	recordBatch bool
+
 	obs  Observer
 	step int
 
@@ -53,7 +107,35 @@ type Ctx struct {
 	// reads resolve to the process's own internal cache variables
 	// instead of the network, and are not recorded as communication.
 	cacheIndex func(port int, kind VarKind, v int) int
+
+	// Per-body scratch allocator (see Scratch): the buffer is recycled
+	// between guard/apply bodies, so the steady-state evaluation path of
+	// full-read protocols performs no heap allocation.
+	scratch    []int
+	scratchOff int
 }
+
+// Scratch returns a length-n scratch slice for protocol bodies that
+// need per-evaluation working storage — typically full-read baselines
+// collecting every neighbor's state before deciding. Successive calls
+// within one Guard or Apply body return disjoint slices from a
+// per-context buffer; the slice is only valid until the body returns,
+// and its contents are unspecified on entry.
+func (c *Ctx) Scratch(n int) []int {
+	off := c.scratchOff
+	end := off + n
+	if end > cap(c.scratch) {
+		grown := make([]int, 2*end)
+		copy(grown, c.scratch)
+		c.scratch = grown
+	}
+	c.scratchOff = end
+	return c.scratch[off:end:end]
+}
+
+// beginBody recycles the scratch buffer for the next Guard or Apply
+// body; every evaluation site calls it immediately before invoking one.
+func (c *Ctx) beginBody() { c.scratchOff = 0 }
 
 // P returns the executing process id (for diagnostics; protocols must
 // not use it to break anonymity).
@@ -105,7 +187,11 @@ func (c *Ctx) NeighborComm(port, v int) int {
 	}
 	q := c.sys.g.Neighbor(c.p, port)
 	if c.obs != nil {
-		c.obs.Read(c.step, c.p, q, KindComm, v, BitsFor(c.sys.commDomains[q][v]))
+		if c.recordBatch {
+			c.arena.readBuf = append(c.arena.readBuf, ReadRec{Q: q, Kind: KindComm, V: v, Bits: c.sys.commBits[q][v]})
+		} else {
+			c.obs.Read(c.step, c.p, q, KindComm, v, c.sys.commBits[q][v])
+		}
 	}
 	return c.pre.Comm[q][v]
 }
@@ -119,7 +205,11 @@ func (c *Ctx) NeighborConst(port, v int) int {
 	}
 	q := c.sys.g.Neighbor(c.p, port)
 	if c.obs != nil {
-		c.obs.Read(c.step, c.p, q, KindConst, v, BitsFor(c.sys.constDomains[q][v]))
+		if c.recordBatch {
+			c.arena.readBuf = append(c.arena.readBuf, ReadRec{Q: q, Kind: KindConst, V: v, Bits: c.sys.constBits[q][v]})
+		} else {
+			c.obs.Read(c.step, c.p, q, KindConst, v, c.sys.constBits[q][v])
+		}
 	}
 	return c.sys.consts[q][v]
 }
@@ -157,8 +247,14 @@ func (c *Ctx) NeighborDeg(port int) int {
 // Rand returns a uniform value in [0, n). Only Apply bodies may draw
 // randomness; guards must be deterministic predicates.
 func (c *Ctx) Rand(n int) int {
-	if !c.randAllowed || c.rand == nil {
+	if !c.randAllowed {
 		panic("model: randomness is only available inside Apply")
+	}
+	if c.rand == nil {
+		if c.arena == nil {
+			panic("model: randomness is only available inside Apply")
+		}
+		c.rand = c.arena.processRand(c.randP)
 	}
 	return c.rand.Intn(n)
 }

@@ -103,6 +103,7 @@ func (t *EnabledTracker) EnabledAction(p int) int {
 	idx := -1
 	actions := t.sys.spec.Actions
 	for i := range actions {
+		c.beginBody()
 		if actions[i].Guard(c) {
 			idx = i
 			break

@@ -155,6 +155,7 @@ func (o *orbitProbe) enabledOrbitSilent(cfg *Config, p, maxOrbit int) (bool, err
 		copy(c.internal, o.internal)
 		idx := -1
 		for i := range actions {
+			c.beginBody()
 			if actions[i].Guard(c) {
 				idx = i
 				break
@@ -192,6 +193,7 @@ func (o *orbitProbe) applyChecked(action int) (err error) {
 		}
 	}()
 	c.randAllowed = true
+	c.beginBody()
 	o.sys.spec.Actions[action].Apply(c)
 	return nil
 }

@@ -89,6 +89,7 @@ func enabledOrbitSilent(sys *System, cfg *Config, p, maxOrbit int) (bool, error)
 		}
 		idx := -1
 		for i := range sys.spec.Actions {
+			c.beginBody()
 			if sys.spec.Actions[i].Guard(c) {
 				idx = i
 				break
@@ -135,6 +136,7 @@ func probeApply(sys *System, cfg *Config, p int, comm, internal []int, action in
 				err = fmt.Errorf("apply panicked: %v", rec)
 			}
 		}()
+		c.beginBody()
 		sys.spec.Actions[action].Apply(c)
 	}()
 	if err != nil {

@@ -44,24 +44,76 @@ type Simulator struct {
 
 	// arena holds the reusable per-process execution state: after the
 	// first step, Step performs no heap allocation (beyond the amortized
-	// round-boundary append).
-	arena *stepArena
+	// round-boundary append). It points at ownArena, or at a shared
+	// StepScratch's arena when the simulator was bound via ResetShared.
+	arena    *stepArena
+	ownArena *stepArena
 
 	// tracker serves enabledness queries incrementally; Step maintains
-	// its dirty set alongside orbitSilent.
+	// its dirty set alongside the silence cache.
 	tracker *EnabledTracker
 
 	// probe runs the frozen-neighborhood orbit exploration of SilentNow
-	// on reusable buffers.
-	probe orbitProbe
+	// on reusable buffers (ownProbe, or a shared StepScratch's probe).
+	probe    *orbitProbe
+	ownProbe orbitProbe
 
-	// Incremental silence detection: orbitSilent[p] caches a true verdict
-	// of processOrbitSilent for p under the current configuration. The
-	// verdict depends only on p's own state and its neighbors'
-	// communication state, so Step invalidates p when p's state changes
-	// and p's neighbors when p's communication state changes.
-	orbitSilent []bool
+	// Incremental silence detection: silence[p] caches the orbit verdict
+	// of processOrbitSilent for p under the current configuration —
+	// silenceSilent and silenceBroken are both cached, so a standing
+	// non-silent witness is re-probed only after something near it moved,
+	// not on every check. The verdict depends only on p's own state and
+	// its neighbors' communication state, so Step invalidates p when p's
+	// state changes and p's neighbors when p's communication state
+	// changes.
+	silence []int8
+
+	// Silent-phase replay memo (see memoStep). Once SilentNow proves the
+	// configuration communication-silent, no process ever changes its
+	// communication row again (the frozen-neighborhood orbit argument of
+	// CommSilent), so a process's response to being selected — the reads
+	// it performs, the action it fires and its next internal state — is a
+	// pure function of its internal row. Step then captures each (process,
+	// internal-state) transition once and replays it on later selections,
+	// skipping guard re-evaluation entirely. The replay delivers the
+	// exact same observer call stream, so recorded traces are
+	// byte-identical to the slow path.
+	memoEntries [][]silentEntry
+	memoActive  bool
+	memoUsed    bool              // any entry captured since the last reset
+	memoOK      bool              // observer compatible with replay
+	memoObs     BatchReadObserver // obs as BatchReadObserver, or nil
+	memoReplay  ReplayObserver    // obs as ReplayObserver, or nil
 }
+
+// silentEntry memoizes one silent-phase transition of a process: in
+// internal state `state`, the process performs `reads`, fires `fired`
+// (-1 if disabled) and moves to internal state `next`. qs and bits
+// aggregate the reads (distinct neighbors; deduplicated bit total) for
+// delivery through ReplayObserver.
+type silentEntry struct {
+	state []int
+	next  []int
+	fired int
+	reads []ReadRec
+	qs    []int
+	bits  int
+}
+
+// memoMaxEntries bounds the per-process memo. A silent orbit visits at
+// most maxOrbit internal states, so the cap is never hit by a sound
+// silence verdict; selections beyond it simply fall back to evaluation.
+const memoMaxEntries = maxOrbit
+
+// Tri-state orbit-silence verdicts cached per process in
+// Simulator.silence. Both polarities are pure functions of p's own state
+// and its neighbors' communication rows (the same dependency cone as
+// enabledness), so both stay valid under the shared dirty rule.
+const (
+	silenceUnknown int8 = iota
+	silenceSilent
+	silenceBroken
+)
 
 // NewSimulator builds a simulator over a deep copy of cfg0, so the caller
 // keeps the initial configuration.
@@ -85,21 +137,53 @@ func NewSimulator(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs O
 // over; it must not mutate the buffer behind the simulator's back while
 // the run is in progress.
 func (s *Simulator) Reset(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs Observer) error {
+	return s.reset(sys, cfg0, sched, seed, obs, nil)
+}
+
+// ResetShared is Reset with the per-step execution scratch — the step
+// arena and the orbit probe — served by a caller-owned StepScratch
+// instead of simulator-owned buffers. Many simulators over one static
+// system can share a single scratch as long as they are stepped
+// sequentially (never concurrently): the lockstep trial batch is the
+// intended client, paying for one arena per worker instead of one per
+// lane. Sharing carries no cross-step state, so verdicts and streams
+// are identical to the unshared path.
+func (s *Simulator) ResetShared(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs Observer, scratch *StepScratch) error {
+	return s.reset(sys, cfg0, sched, seed, obs, scratch)
+}
+
+func (s *Simulator) reset(sys *System, cfg0 *Config, sched Scheduler, seed uint64, obs Observer, scratch *StepScratch) error {
 	if err := cfg0.Validate(sys); err != nil {
 		return err
 	}
 	if s.sys != sys {
 		s.sys = sys
 		s.seenThisRound = make([]bool, sys.N())
-		s.orbitSilent = make([]bool, sys.N())
-		s.arena = newStepArena(sys)
+		s.silence = make([]int8, sys.N())
+		s.memoEntries = make([][]silentEntry, sys.N())
 	} else {
 		for i := range s.seenThisRound {
 			s.seenThisRound[i] = false
 		}
-		for i := range s.orbitSilent {
-			s.orbitSilent[i] = false
+		for i := range s.silence {
+			s.silence[i] = silenceUnknown
 		}
+	}
+	s.memoReset()
+	s.memoObs, _ = obs.(BatchReadObserver)
+	s.memoReplay, _ = obs.(ReplayObserver)
+	s.memoOK = obs == nil || s.memoObs != nil
+	if scratch != nil {
+		scratch.bind(sys)
+		s.arena = scratch.arena
+		s.probe = &scratch.probe
+	} else {
+		if s.ownArena == nil || s.ownArena.sys != sys {
+			s.ownArena = newStepArena(sys)
+		}
+		s.arena = s.ownArena
+		s.ownProbe.bind(sys)
+		s.probe = &s.ownProbe
 	}
 	s.cfg = cfg0
 	s.sched = sched
@@ -118,7 +202,6 @@ func (s *Simulator) Reset(sys *System, cfg0 *Config, sched Scheduler, seed uint6
 	} else {
 		s.tracker.Reset(sys, cfg0)
 	}
-	s.probe.bind(sys)
 	return nil
 }
 
@@ -157,7 +240,13 @@ func (s *Simulator) Step() []int {
 		s.obs.StepBegin(s.step, selected)
 	}
 	s.arena.stepSeed = rng.Derive(s.seed, uint64(s.step))
-	fired, commChanged := s.arena.executeStep(s.cfg, selected, s.step, s.obs)
+	var fired []int
+	var commChanged []bool
+	if s.memoActive {
+		fired, commChanged = s.memoStep(selected)
+	} else {
+		fired, commChanged = s.arena.executeStep(s.cfg, selected, s.step, s.obs, s.memoObs)
+	}
 	for i, p := range selected {
 		if fired[i] < 0 {
 			continue
@@ -166,12 +255,12 @@ func (s *Simulator) Step() []int {
 		// state changed, the neighbors' cached verdicts are stale too.
 		// Enabledness and orbit-silence share the same dependency cone, so
 		// both caches follow the same dirty rule.
-		s.orbitSilent[p] = false
+		s.silence[p] = silenceUnknown
 		s.tracker.Invalidate(p)
 		if commChanged[i] {
 			for port := 1; port <= s.sys.g.Degree(p); port++ {
 				q := s.sys.g.Neighbor(p, port)
-				s.orbitSilent[q] = false
+				s.silence[q] = silenceUnknown
 				s.tracker.Invalidate(q)
 			}
 		}
@@ -259,15 +348,22 @@ func (s *Simulator) RunUntilSilent(maxSteps, checkEvery int) (bool, error) {
 // The fast path is allocation-free: a disabled process is a local fixed
 // point, and its disabledness comes from the incremental tracker rather
 // than a from-scratch probe. Only enabled processes pay for the full
-// orbit exploration.
+// orbit exploration, and a standing negative verdict is cached too: a
+// configuration whose non-silent witness was not touched since the last
+// check answers false without re-running its orbit — with silence
+// checked every step, that turns the per-step cost from one guaranteed
+// probe into a probe only when the witness's neighborhood moved.
 func (s *Simulator) SilentNow() (bool, error) {
 	for p := 0; p < s.sys.N(); p++ {
-		if s.orbitSilent[p] {
+		switch s.silence[p] {
+		case silenceSilent:
 			continue
+		case silenceBroken:
+			return false, nil
 		}
 		if s.tracker.EnabledAction(p) < 0 {
 			// Disabled: the orbit is closed at the first state.
-			s.orbitSilent[p] = true
+			s.silence[p] = silenceSilent
 			continue
 		}
 		silent, err := s.probe.enabledOrbitSilent(s.cfg, p, maxOrbit)
@@ -275,9 +371,16 @@ func (s *Simulator) SilentNow() (bool, error) {
 			return false, fmt.Errorf("model: silence check at process %d: %w", p, err)
 		}
 		if !silent {
+			s.silence[p] = silenceBroken
 			return false, nil
 		}
-		s.orbitSilent[p] = true
+		s.silence[p] = silenceSilent
+	}
+	if s.memoOK {
+		// Communication silence is irrevocable under Step (the orbit
+		// argument covers every reachable successor), so from here on
+		// selections can be served from the replay memo.
+		s.memoActive = true
 	}
 	return true, nil
 }
@@ -296,11 +399,12 @@ func (s *Simulator) Tracker() *EnabledTracker { return s.tracker }
 // call it for every process they touched before the next Step, SilentNow
 // or tracker probe.
 func (s *Simulator) MarkDirty(p int) {
-	s.orbitSilent[p] = false
+	s.memoReset()
+	s.silence[p] = silenceUnknown
 	s.tracker.Invalidate(p)
 	for port := 1; port <= s.sys.g.Degree(p); port++ {
 		q := s.sys.g.Neighbor(p, port)
-		s.orbitSilent[q] = false
+		s.silence[q] = silenceUnknown
 		s.tracker.Invalidate(q)
 	}
 }
@@ -318,4 +422,193 @@ func (s *Simulator) RunRounds(k int) {
 	for s.round < target {
 		s.Step()
 	}
+}
+
+// memoReset deactivates the silent-phase replay memo and drops every
+// captured transition (their frozen-communication premise no longer
+// holds after an external mutation). Entry backing arrays are kept, so
+// re-capturing in a later silent phase allocates nothing in steady
+// state.
+func (s *Simulator) memoReset() {
+	s.memoActive = false
+	if !s.memoUsed {
+		return
+	}
+	s.memoUsed = false
+	for p := range s.memoEntries {
+		s.memoEntries[p] = s.memoEntries[p][:0]
+	}
+}
+
+// memoFind returns the captured transition for p's current internal
+// state, or nil. Comparison is by value: silent orbits visit at most a
+// handful of states, so a linear scan beats any keying scheme — and
+// avoids the overflow pitfalls of mixed-radix encoding for wide
+// internal rows (the transformer's cache variables).
+func (s *Simulator) memoFind(p int) *silentEntry {
+	row := s.cfg.Internal[p]
+	lst := s.memoEntries[p]
+scan:
+	for i := range lst {
+		e := &lst[i]
+		for v, val := range e.state {
+			if row[v] != val {
+				continue scan
+			}
+		}
+		return e
+	}
+	return nil
+}
+
+// memoStep is Step's silent-phase fast path: each selected process is
+// served from the replay memo when its internal state was seen before,
+// and evaluated-and-captured otherwise. The observer call stream —
+// reads (batched), ActionFired, commit — is exactly the slow path's,
+// and internal-only commits are invisible to other processes, so
+// per-process sequential processing preserves the two-phase step
+// semantics.
+func (s *Simulator) memoStep(selected []int) (fired []int, commChanged []bool) {
+	a := s.arena
+	fired = a.fired[:0]
+	commChanged = a.commChanged[:0]
+	for _, p := range selected {
+		if e := s.memoFind(p); e != nil {
+			if s.memoReplay != nil {
+				s.memoReplay.ReplaySelection(p, e.qs, len(e.qs), e.bits, e.fired)
+			} else {
+				if s.memoObs != nil && len(e.reads) > 0 {
+					s.memoObs.ReadBatch(s.step, p, e.reads)
+				}
+				if s.obs != nil {
+					s.obs.ActionFired(s.step, p, e.fired)
+				}
+			}
+			if e.fired >= 0 {
+				next := e.next
+				row := s.cfg.Internal[p]
+				for v := range row {
+					row[v] = next[v]
+				}
+			}
+			fired = append(fired, e.fired)
+			commChanged = append(commChanged, false)
+			continue
+		}
+		f, changed := s.memoExec(p)
+		fired = append(fired, f)
+		commChanged = append(commChanged, changed)
+	}
+	a.fired = fired[:0]
+	a.commChanged = commChanged[:0]
+	return fired, commChanged
+}
+
+// aggregate precomputes the entry's replay aggregates from its raw read
+// list: the distinct neighbors read and the bit total deduplicated per
+// (neighbor, kind, variable) — exactly the recorder's per-step dedup
+// rule. The quadratic scans run once per entry over a handful of reads.
+func (e *silentEntry) aggregate() {
+	e.qs = e.qs[:0]
+	e.bits = 0
+	for i := range e.reads {
+		rec := &e.reads[i]
+		dupQ := false
+		for _, q := range e.qs {
+			if q == rec.Q {
+				dupQ = true
+				break
+			}
+		}
+		if !dupQ {
+			e.qs = append(e.qs, rec.Q)
+		}
+		dupK := false
+		for j := 0; j < i; j++ {
+			o := &e.reads[j]
+			if o.Q == rec.Q && o.Kind == rec.Kind && o.V == rec.V {
+				dupK = true
+				break
+			}
+		}
+		if !dupK {
+			e.bits += rec.Bits
+		}
+	}
+}
+
+// memoExec evaluates p through the regular arena context, captures the
+// transition into the memo and commits it. A communication write here
+// would mean the silence verdict was unsound (a spec bug, not a
+// reachable state): it is committed faithfully and the memo is dropped
+// so the run stays correct.
+func (s *Simulator) memoExec(p int) (f int, commChanged bool) {
+	a := s.arena
+	c := &a.ctxs[p]
+	c.pre = s.cfg
+	c.obs = s.obs
+	c.step = s.step
+	c.rand = nil
+	c.recordBatch = s.memoObs != nil
+	copy(c.comm, s.cfg.Comm[p])
+	copy(c.internal, s.cfg.Internal[p])
+	var e *silentEntry
+	if lst := s.memoEntries[p]; len(lst) < memoMaxEntries {
+		if len(lst) < cap(lst) {
+			lst = lst[:len(lst)+1]
+		} else {
+			lst = append(lst, silentEntry{})
+		}
+		s.memoEntries[p] = lst
+		e = &lst[len(lst)-1]
+		e.state = append(e.state[:0], s.cfg.Internal[p]...)
+		s.memoUsed = true
+	}
+	f = execOne(c)
+	if s.memoObs != nil {
+		if e != nil {
+			e.reads = append(e.reads[:0], a.readBuf...)
+			e.aggregate()
+		}
+		if len(a.readBuf) > 0 {
+			s.memoObs.ReadBatch(s.step, p, a.readBuf)
+		}
+		a.readBuf = a.readBuf[:0]
+	} else if e != nil {
+		e.reads = e.reads[:0]
+		e.qs = e.qs[:0]
+		e.bits = 0
+	}
+	if e != nil {
+		e.fired = f
+	}
+	if f >= 0 {
+		for v, nv := range c.comm {
+			if s.cfg.Comm[p][v] != nv {
+				commChanged = true
+				break
+			}
+		}
+		if e != nil {
+			e.next = append(e.next[:0], c.internal...)
+		}
+	}
+	if s.obs != nil {
+		s.obs.ActionFired(s.step, p, f)
+	}
+	if f >= 0 {
+		if commChanged {
+			if s.obs != nil {
+				for v, nv := range c.comm {
+					if ov := s.cfg.Comm[p][v]; ov != nv {
+						s.obs.CommWrite(s.step, p, v, ov, nv)
+					}
+				}
+			}
+			copy(s.cfg.Comm[p], c.comm)
+			s.memoReset()
+		}
+		copy(s.cfg.Internal[p], c.internal)
+	}
+	return f, commChanged
 }

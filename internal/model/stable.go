@@ -75,6 +75,7 @@ func eventualReadsOf(sys *System, cfg *Config, p int) ([]int, error) {
 		}
 		idx := -1
 		for i := range sys.spec.Actions {
+			c.beginBody()
 			if sys.spec.Actions[i].Guard(c) {
 				idx = i
 				break
@@ -90,6 +91,7 @@ func eventualReadsOf(sys *System, cfg *Config, p int) ([]int, error) {
 			return nil, fmt.Errorf("enabled randomized action %q: configuration is not silent", act.Name)
 		}
 		c.randAllowed = true
+		c.beginBody()
 		act.Apply(c)
 		c.randAllowed = false
 		if !intsEqual(c.comm, comm) {

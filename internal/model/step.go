@@ -21,8 +21,10 @@ func execOne(c *Ctx) int {
 	spec := c.sys.spec
 	for i := range spec.Actions {
 		c.randAllowed = false
+		c.beginBody()
 		if spec.Actions[i].Guard(c) {
 			c.randAllowed = true
+			c.beginBody()
 			spec.Actions[i].Apply(c)
 			c.randAllowed = false
 			return i
@@ -32,14 +34,18 @@ func execOne(c *Ctx) int {
 }
 
 // newCtx builds an execution context for p whose own state is a scratch
-// copy taken from cfg.
+// copy taken from cfg. Both rows are carved from one allocation.
 func newCtx(sys *System, cfg *Config, p int, r *rng.Rand, obs Observer, step int) *Ctx {
+	comm, internal := cfg.Comm[p], cfg.Internal[p]
+	buf := make([]int, len(comm)+len(internal))
+	copy(buf, comm)
+	copy(buf[len(comm):], internal)
 	return &Ctx{
 		sys:      sys,
 		pre:      cfg,
 		p:        p,
-		comm:     append([]int(nil), cfg.Comm[p]...),
-		internal: append([]int(nil), cfg.Internal[p]...),
+		comm:     buf[:len(comm):len(comm)],
+		internal: buf[len(comm):],
 		rand:     r,
 		obs:      obs,
 		step:     step,
@@ -125,6 +131,7 @@ func EnabledAction(sys *System, cfg *Config, p int) int {
 	c := newCtx(sys, cfg, p, nil, nil, -1)
 	spec := sys.spec
 	for i := range spec.Actions {
+		c.beginBody()
 		if spec.Actions[i].Guard(c) {
 			return i
 		}

@@ -20,6 +20,22 @@ type System struct {
 	commDomains     [][]int // commDomains[p][v]
 	internalDomains [][]int
 	constDomains    [][]int
+
+	// Precomputed BitsFor over the domain tables: neighbor reads are the
+	// innermost operation of every guard, so the read-instrumentation
+	// path looks the width up instead of recomputing it. commBits rows
+	// follow refreshDomains under dynamic topologies; constBits is
+	// structural and never refreshed.
+	commBits  [][]int // commBits[p][v] = BitsFor(commDomains[p][v])
+	constBits [][]int
+}
+
+func bitsRow(domains []int) []int {
+	out := make([]int, len(domains))
+	for v, d := range domains {
+		out[v] = BitsFor(d)
+	}
+	return out
 }
 
 // NewSystem validates and builds a System. consts must have one row per
@@ -82,6 +98,12 @@ func NewSystem(g *graph.Graph, spec *Spec, consts [][]int) (*System, error) {
 			}
 			s.consts[p] = row
 		}
+	}
+	s.commBits = make([][]int, g.N())
+	s.constBits = make([][]int, g.N())
+	for p := 0; p < g.N(); p++ {
+		s.commBits[p] = bitsRow(s.commDomains[p])
+		s.constBits[p] = bitsRow(s.constDomains[p])
 	}
 	return s, nil
 }

@@ -27,6 +27,7 @@ func (s *System) MutableCopy() *System {
 	c.g = s.g.MutableCopy()
 	c.commDomains = copyRows(s.commDomains)
 	c.internalDomains = copyRows(s.internalDomains)
+	c.commBits = copyRows(s.commBits)
 	return &c
 }
 
@@ -54,6 +55,7 @@ func (s *System) refreshDomains(p int) {
 	info := DomainInfo{N: s.g.N(), Delta: s.delta, Degree: deg}
 	for v := range s.commDomains[p] {
 		s.commDomains[p][v] = s.spec.Comm[v].Domain(info)
+		s.commBits[p][v] = BitsFor(s.commDomains[p][v])
 	}
 	for v := range s.internalDomains[p] {
 		s.internalDomains[p][v] = s.spec.Internal[v].Domain(info)

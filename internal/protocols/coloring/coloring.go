@@ -77,7 +77,7 @@ func Spec() *model.Spec {
 // palette). In the style of Gradinariu & Tixeuil (OPODIS 2000).
 func BaselineSpec() *model.Spec {
 	readAllColors := func(c *model.Ctx) []int {
-		colors := make([]int, c.Deg())
+		colors := c.Scratch(c.Deg())
 		for port := 1; port <= c.Deg(); port++ {
 			colors[port-1] = c.NeighborComm(port, VarC)
 		}
@@ -106,17 +106,22 @@ func BaselineSpec() *model.Spec {
 				Name:  "conflict: pick random free color",
 				Guard: hasConflict,
 				Apply: func(c *model.Ctx) {
-					used := make([]bool, c.Delta()+1)
-					for _, col := range readAllColors(c) {
-						used[col] = true
+					used := c.Scratch(c.Delta() + 1)
+					for i := range used {
+						used[i] = 0
 					}
-					var free []int
+					for _, col := range readAllColors(c) {
+						used[col] = 1
+					}
+					free := c.Scratch(c.Delta() + 1)
+					nFree := 0
 					for col, u := range used {
-						if !u {
-							free = append(free, col)
+						if u == 0 {
+							free[nFree] = col
+							nFree++
 						}
 					}
-					c.SetComm(VarC, free[c.Rand(len(free))])
+					c.SetComm(VarC, free[c.Rand(nFree)])
 				},
 				Randomized: true,
 			},
@@ -139,8 +144,8 @@ func Colors(cfg *model.Config) []int {
 func IsLegitimate(sys *model.System, cfg *model.Config) bool {
 	g := sys.Graph()
 	for p := 0; p < g.N(); p++ {
-		for _, q := range g.Neighbors(p) {
-			if cfg.Comm[p][VarC] == cfg.Comm[q][VarC] {
+		for port := 1; port <= g.Degree(p); port++ {
+			if cfg.Comm[p][VarC] == cfg.Comm[g.Neighbor(p, port)][VarC] {
 				return false
 			}
 		}

@@ -163,11 +163,13 @@ func BaselineSpec(maxColors int) *model.Spec {
 		pr, m, color, backPort []int
 	}
 	readAll := func(c *model.Ctx) view {
+		deg := c.Deg()
+		buf := c.Scratch(4 * deg)
 		v := view{
-			pr:       make([]int, c.Deg()),
-			m:        make([]int, c.Deg()),
-			color:    make([]int, c.Deg()),
-			backPort: make([]int, c.Deg()),
+			pr:       buf[:deg],
+			m:        buf[deg : 2*deg],
+			color:    buf[2*deg : 3*deg],
+			backPort: buf[3*deg:],
 		}
 		for port := 1; port <= c.Deg(); port++ {
 			v.pr[port-1] = c.NeighborComm(port, VarPR)
@@ -353,8 +355,8 @@ func IsLegitimate(sys *model.System, cfg *model.Config) bool {
 			return false // neither free nor married (Lemma 5)
 		}
 		if !married {
-			for _, q := range g.Neighbors(p) {
-				if matchedWith[q] == 0 {
+			for port := 1; port <= g.Degree(p); port++ {
+				if matchedWith[g.Neighbor(p, port)] == 0 {
 					return false // two free neighbors: not maximal
 				}
 			}

@@ -107,8 +107,8 @@ func Spec(maxColors int) *model.Spec {
 //	(S.p=dominated ∧ ∀q∈Γ.p: S.q=dominated)           → S.p ← Dominator
 func BaselineSpec(maxColors int) *model.Spec {
 	readAll := func(c *model.Ctx) (states, colors []int) {
-		states = make([]int, c.Deg())
-		colors = make([]int, c.Deg())
+		states = c.Scratch(c.Deg())
+		colors = c.Scratch(c.Deg())
 		for port := 1; port <= c.Deg(); port++ {
 			states[port-1] = c.NeighborComm(port, VarS)
 			colors[port-1] = c.NeighborConst(port, ConstC)
@@ -194,15 +194,15 @@ func IsLegitimate(sys *model.System, cfg *model.Config) bool {
 	g := sys.Graph()
 	for p := 0; p < g.N(); p++ {
 		if cfg.Comm[p][VarS] == Dominator {
-			for _, q := range g.Neighbors(p) {
-				if cfg.Comm[q][VarS] == Dominator {
+			for port := 1; port <= g.Degree(p); port++ {
+				if cfg.Comm[g.Neighbor(p, port)][VarS] == Dominator {
 					return false
 				}
 			}
 		} else {
 			witness := false
-			for _, q := range g.Neighbors(p) {
-				if cfg.Comm[q][VarS] == Dominator {
+			for port := 1; port <= g.Degree(p); port++ {
+				if cfg.Comm[g.Neighbor(p, port)][VarS] == Dominator {
 					witness = true
 					break
 				}

@@ -148,6 +148,41 @@ func (r *Recorder) Reset(n int) {
 }
 
 var _ model.Observer = (*Recorder)(nil)
+var _ model.BatchReadObserver = (*Recorder)(nil)
+var _ model.ReplayObserver = (*Recorder)(nil)
+
+// ReplaySelection implements model.ReplayObserver: the simulator's
+// silent-phase replay hands over one selection's precomputed aggregate
+// instead of the raw Read/ActionFired stream. The fold below is exactly
+// what the equivalent Read calls plus the StepEnd flush would have done
+// for p — counters add, maxima compare, set insertions are idempotent —
+// so reports are identical to the slow path, byte for byte.
+func (r *Recorder) ReplaySelection(p int, neighbors []int, reads, bits, fired int) {
+	if fired >= 0 {
+		r.moves++
+		r.suffixMoves++
+	} else {
+		r.disabledSelections++
+	}
+	if reads == 0 {
+		return
+	}
+	if reads > r.maxStepReads[p] {
+		r.maxStepReads[p] = reads
+	}
+	r.totalReads += int64(reads)
+	r.suffixReads += int64(reads)
+	if bits > r.maxStepBits[p] {
+		r.maxStepBits[p] = bits
+	}
+	r.totalBits += int64(bits)
+	r.suffixBits += int64(bits)
+	ever, suffix := r.everRead[p], r.suffixRead[p]
+	for _, q := range neighbors {
+		ever.Add(q)
+		suffix.Add(q)
+	}
+}
 
 // StepBegin implements model.Observer.
 func (r *Recorder) StepBegin(_ int, selected []int) {
@@ -186,6 +221,57 @@ func (r *Recorder) Read(_, p, q int, kind model.VarKind, v, bits int) {
 		r.curKeys[p] = append(r.curKeys[p], k)
 	}
 	r.curBitSum[p] += bits
+}
+
+// ReadBatch implements model.BatchReadObserver: the step engine hands
+// over every read of one process evaluation in a single call, letting
+// the recorder hoist the per-process bookkeeping out of the per-read
+// loop. The accounting is exactly len(reads) Read calls' worth.
+func (r *Recorder) ReadBatch(_, p int, reads []model.ReadRec) {
+	if r.procStamp[p] != r.epoch {
+		r.procStamp[p] = r.epoch
+		r.touched = append(r.touched, p)
+	}
+	cur := r.curReads[p]
+	count := r.curReadCount[p]
+	bitSum := r.curBitSum[p]
+	if r.readStamp != nil {
+		for i := range reads {
+			rec := &reads[i]
+			if cur.Add(rec.Q) {
+				count++
+			}
+			if rec.V >= r.stampW {
+				r.growStamp(rec.V + 1)
+			}
+			idx := ((p*r.n+rec.Q)*3+int(rec.Kind)-1)*r.stampW + rec.V
+			if r.readStamp[idx] != r.epoch {
+				r.readStamp[idx] = r.epoch
+				bitSum += rec.Bits
+			}
+		}
+	} else {
+		for i := range reads {
+			rec := &reads[i]
+			if cur.Add(rec.Q) {
+				count++
+			}
+			k := readKey{q: rec.Q, kind: rec.Kind, v: rec.V}
+			dup := false
+			for _, seen := range r.curKeys[p] {
+				if seen == k {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				r.curKeys[p] = append(r.curKeys[p], k)
+				bitSum += rec.Bits
+			}
+		}
+	}
+	r.curReadCount[p] = count
+	r.curBitSum[p] = bitSum
 }
 
 // growStamp widens the stamp table to at least w slots per (p,q,kind),

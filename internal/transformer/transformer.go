@@ -140,13 +140,14 @@ func Transform(orig *model.Spec, delta int) (*model.Spec, error) {
 			Name: "cached: " + oa.Name,
 			Guard: func(c *model.Ctx) bool {
 				c.BeginCachedView(cacheIdx)
-				defer c.EndCachedView()
-				return oa.Guard(c)
+				ok := oa.Guard(c)
+				c.EndCachedView()
+				return ok
 			},
 			Apply: func(c *model.Ctx) {
 				c.BeginCachedView(cacheIdx)
-				defer c.EndCachedView()
 				oa.Apply(c)
+				c.EndCachedView()
 			},
 			Randomized: oa.Randomized,
 		})
