@@ -9,7 +9,7 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 .PHONY: build test test-race test-full bench bench-json bench-diff bench-diff-committed \
-	fuzz-smoke campaign-smoke events-smoke batch-smoke lint fmt vet check help
+	scale-smoke fuzz-smoke campaign-smoke events-smoke batch-smoke lint fmt vet check help
 
 help: ## List targets with their one-line descriptions
 	@awk -F':.*## ' '/^[a-zA-Z_-]+:.*## / {printf "  %-22s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -111,8 +111,8 @@ events-smoke: ## Event-log byte-identity across parallelism and cache state
 # Machine-readable perf trajectory: run the engine core benchmarks (step
 # engine, enabled tracker, trial pipeline, batched trial pipeline,
 # recorder, and the dynamic-topology hot path: graph mutation, topology
-# step, churn trial loop) and record (name, ns/op, allocs/op) in
-# BENCH_5.json. The committed copy is the canonical baseline for this
+# step, churn trial loop) and record (name, ns/op, B/op, allocs/op) in
+# BENCH_6.json. The committed copy is the canonical baseline for this
 # PR's engine (numbers are machine-specific — regenerate locally only to
 # compare shapes, not to commit); CI uploads a fresh run as an artifact
 # on every push. Bump the N in the filename when a later PR resets the
@@ -123,29 +123,40 @@ BENCH_PKGS = ./internal/model ./internal/core ./internal/trace ./internal/graph 
 # against each other by the gate, so per-run noise translates directly
 # into false regressions on noisy (single-core, shared) machines.
 BENCHTIME ?= 2s
-bench-json: ## Record the core-benchmark baseline as BENCH_5.json
+bench-json: ## Record the core-benchmark baseline as BENCH_6.json
 	$(GO) test -bench=$(BENCH_CORE) -benchtime=$(BENCHTIME) -benchmem -run='^$$' $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson > BENCH_5.json
-	@echo wrote BENCH_5.json
+		| $(GO) run ./cmd/benchjson > BENCH_6.json
+	@echo wrote BENCH_6.json
 
-# Regression gates (benchjson -diff): fail on >25% ns/op regressions or
-# any allocs/op growth in the model/trace/graph microbenchmarks (the
-# trial-loop, churn-trial-loop and experiment benches run whole
-# executions and are too noisy to gate on ns/op).
+# Regression gates (benchjson -diff): fail on >25% ns/op regressions,
+# >10% bytes_per_op regressions, or any allocs/op growth in the
+# model/trace/graph microbenchmarks (the trial-loop, churn-trial-loop
+# and experiment benches run whole executions and are too noisy to gate
+# on ns/op).
 BENCH_GATE = 'BenchmarkExecuteStep|BenchmarkEnabledTracker|BenchmarkConfigClone|BenchmarkRecorderReadFullStep|BenchmarkGraphMutation|BenchmarkTopologyStep'
 
 bench-diff: ## Fresh local benchmark run vs the committed baseline
 	$(GO) test -bench=$(BENCH_CORE) -benchtime=$(BENCHTIME) -benchmem -run='^$$' $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > /tmp/bench-head.json
-	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_5.json /tmp/bench-head.json
+	$(GO) run ./cmd/benchjson -diff -max-regress 25 -max-bytes-regress 10 -filter $(BENCH_GATE) BENCH_6.json /tmp/bench-head.json
 
 # bench-diff-committed: committed previous baseline vs committed current
 # baseline — both measured on the same machine class, so the gate is
-# deterministic. CI runs this on every push. Benchmarks new in BENCH_5
-# (the lockstep-batched trial loop) have no BENCH_4 counterpart and are
-# reported without gating.
+# deterministic. CI runs this on every push. Benchmarks new in BENCH_6
+# have no BENCH_5 counterpart and are reported without gating.
 bench-diff-committed: ## Committed previous vs current baseline (deterministic)
-	$(GO) run ./cmd/benchjson -diff -max-regress 25 -filter $(BENCH_GATE) BENCH_4.json BENCH_5.json
+	$(GO) run ./cmd/benchjson -diff -max-regress 25 -max-bytes-regress 10 -filter $(BENCH_GATE) BENCH_5.json BENCH_6.json
+
+# Large-n scale smoke: drive the E22 headline cell — a 10⁶-process torus
+# under synchronous COLORING — to a legitimate silent configuration and
+# gate its peak RSS. The budget documents the engine's large-graph
+# memory claim: the cell measures ~740 MiB peak on the reference runner
+# (~730 B/process live heap), and 1024 MiB leaves headroom for allocator
+# and GC variance without masking an O(n²) reintroduction, which would
+# blow past it by orders of magnitude.
+SCALE_BUDGET_MB ?= 1024
+scale-smoke: ## 10⁶-node torus cell to silence under the peak-RSS budget
+	$(GO) run ./cmd/ssscale -n 1000000 -graph torus -budget-mb $(SCALE_BUDGET_MB)
 
 # Batch smoke: the end-to-end proof of the lockstep-batching invariance
 # contract on real binaries — the full quickstart campaign's JSONL and

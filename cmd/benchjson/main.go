@@ -13,15 +13,17 @@
 //
 // # Diff mode
 //
-//	benchjson -diff OLD.json NEW.json [-max-regress 25] [-filter REGEX]
+//	benchjson -diff OLD.json NEW.json [-max-regress 25] [-max-bytes-regress 10] [-filter REGEX]
 //
 // compares two result files by benchmark name (CPU-count suffixes like
 // "-8" are ignored, so files from machines with different core counts
 // line up) and prints a delta table. The exit status is 1 when any
 // benchmark matching -filter regressed by more than -max-regress percent
-// in ns/op, or regressed at all in allocs/op (allocation counts are
-// machine-independent, so they gate exactly). Benchmarks present in only
-// one file are reported but never fail the diff.
+// in ns/op, by more than -max-bytes-regress percent in bytes_per_op, or
+// at all in allocs/op (allocation counts are machine-independent, so
+// they gate exactly; B/op is nearly so, and the small budget absorbs
+// map-growth and size-class jitter). Benchmarks present in only one file
+// are reported but never fail the diff.
 package main
 
 import (
@@ -51,6 +53,7 @@ func main() {
 	var (
 		diff       = fs.Bool("diff", false, "compare two BENCH_*.json files (args: old new) instead of parsing stdin")
 		maxRegress = fs.Float64("max-regress", 25, "diff mode: maximum tolerated ns/op regression in percent")
+		maxBytes   = fs.Float64("max-bytes-regress", 10, "diff mode: maximum tolerated bytes_per_op regression in percent")
 		filter     = fs.String("filter", "", "diff mode: only benchmarks matching this regexp gate the exit status")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -61,7 +64,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		ok, err := runDiff(os.Stdout, fs.Arg(0), fs.Arg(1), *maxRegress, *filter)
+		ok, err := runDiff(os.Stdout, fs.Arg(0), fs.Arg(1), *maxRegress, *maxBytes, *filter)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -116,8 +119,9 @@ func loadResults(path string) (map[string]Result, error) {
 }
 
 // runDiff prints a comparison of two result files and reports whether
-// the gated benchmarks stayed within the regression budget.
-func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64, filter string) (bool, error) {
+// the gated benchmarks stayed within the regression budgets (ns/op,
+// bytes_per_op, allocs/op).
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress, maxBytes float64, filter string) (bool, error) {
 	var re *regexp.Regexp
 	if filter != "" {
 		var err error
@@ -153,6 +157,10 @@ func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64, filter st
 		if od.NsPerOp > 0 {
 			deltaPct = (nw.NsPerOp - od.NsPerOp) / od.NsPerOp * 100
 		}
+		bytesPct := 0.0
+		if od.BytesPerOp > 0 {
+			bytesPct = float64(nw.BytesPerOp-od.BytesPerOp) / float64(od.BytesPerOp) * 100
+		}
 		gated := re == nil || re.MatchString(name)
 		verdict := "ok"
 		switch {
@@ -160,6 +168,12 @@ func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64, filter st
 			verdict = "ungated"
 		case nw.AllocsPerOp > od.AllocsPerOp:
 			verdict = fmt.Sprintf("FAIL (allocs %d -> %d)", od.AllocsPerOp, nw.AllocsPerOp)
+			ok = false
+		case od.BytesPerOp == 0 && nw.BytesPerOp > 0:
+			verdict = fmt.Sprintf("FAIL (B/op 0 -> %d)", nw.BytesPerOp)
+			ok = false
+		case bytesPct > maxBytes:
+			verdict = fmt.Sprintf("FAIL (B/op %d -> %d, > %.0f%%)", od.BytesPerOp, nw.BytesPerOp, maxBytes)
 			ok = false
 		case deltaPct > maxRegress:
 			verdict = fmt.Sprintf("FAIL (> %.0f%%)", maxRegress)
@@ -173,7 +187,7 @@ func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64, filter st
 		}
 	}
 	if !ok {
-		fmt.Fprintf(w, "REGRESSION: some benchmarks exceeded the %.0f%% ns/op budget or grew allocs/op\n", maxRegress)
+		fmt.Fprintf(w, "REGRESSION: some benchmarks exceeded the %.0f%% ns/op or %.0f%% bytes_per_op budget, or grew allocs/op\n", maxRegress, maxBytes)
 	}
 	return ok, nil
 }

@@ -89,7 +89,7 @@ func TestDiffMode(t *testing.T) {
 		{Name: "BenchmarkNew-16", NsPerOp: 1},
 	})
 	var sb strings.Builder
-	ok, err := runDiff(&sb, oldPath, newPath, 25, "")
+	ok, err := runDiff(&sb, oldPath, newPath, 25, 10, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,17 +99,55 @@ func TestDiffMode(t *testing.T) {
 
 	// ns/op regression beyond budget.
 	writeResults(t, newPath, []Result{{Name: "BenchmarkA-8", NsPerOp: 150, AllocsPerOp: 2}})
-	if ok, err = runDiff(&sb, oldPath, newPath, 25, ""); err != nil || ok {
+	if ok, err = runDiff(&sb, oldPath, newPath, 25, 10, ""); err != nil || ok {
 		t.Fatalf("50%% regression passed a 25%% budget (ok=%v err=%v)", ok, err)
 	}
 	// ...but an ungated name passes under -filter.
-	if ok, err = runDiff(&sb, oldPath, newPath, 25, "BenchmarkB"); err != nil || !ok {
+	if ok, err = runDiff(&sb, oldPath, newPath, 25, 10, "BenchmarkB"); err != nil || !ok {
 		t.Fatalf("filtered diff gated an unmatched benchmark (ok=%v err=%v)", ok, err)
 	}
 
 	// Alloc growth fails regardless of ns/op.
 	writeResults(t, newPath, []Result{{Name: "BenchmarkA-8", NsPerOp: 50, AllocsPerOp: 3}})
-	if ok, err = runDiff(&sb, oldPath, newPath, 25, ""); err != nil || ok {
+	if ok, err = runDiff(&sb, oldPath, newPath, 25, 10, ""); err != nil || ok {
 		t.Fatalf("allocs/op growth passed the diff (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestDiffBytesGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeResults(t, oldPath, []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 2},
+		{Name: "BenchmarkZero-8", NsPerOp: 100},
+	})
+
+	// B/op within the 10% budget passes.
+	writeResults(t, newPath, []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 1050, AllocsPerOp: 2},
+		{Name: "BenchmarkZero-8", NsPerOp: 100},
+	})
+	var sb strings.Builder
+	if ok, err := runDiff(&sb, oldPath, newPath, 25, 10, ""); err != nil || !ok {
+		t.Fatalf("5%% bytes growth failed a 10%% budget (ok=%v err=%v):\n%s", ok, err, sb.String())
+	}
+
+	// B/op beyond the budget fails even with flat ns/op and allocs/op.
+	writeResults(t, newPath, []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 1200, AllocsPerOp: 2},
+		{Name: "BenchmarkZero-8", NsPerOp: 100},
+	})
+	if ok, err := runDiff(&sb, oldPath, newPath, 25, 10, ""); err != nil || ok {
+		t.Fatalf("20%% bytes growth passed a 10%% budget (ok=%v err=%v)", ok, err)
+	}
+
+	// A benchmark going from zero to nonzero B/op fails outright.
+	writeResults(t, newPath, []Result{
+		{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 2},
+		{Name: "BenchmarkZero-8", NsPerOp: 100, BytesPerOp: 16},
+	})
+	if ok, err := runDiff(&sb, oldPath, newPath, 25, 10, ""); err != nil || ok {
+		t.Fatalf("zero-to-nonzero bytes growth passed the diff (ok=%v err=%v)", ok, err)
 	}
 }

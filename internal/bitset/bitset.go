@@ -163,7 +163,16 @@ func (s *Set) ForEach(fn func(i int)) {
 }
 
 // Elems appends the elements in ascending order to buf and returns it.
+// It is the open-coded twin of ForEach: the word walk is inlined here so
+// per-step enumeration (the enabled-set and dirty-set hot paths) pays no
+// indirect call per element.
 func (s *Set) Elems(buf []int) []int {
-	s.ForEach(func(i int) { buf = append(buf, i) })
+	for wi, w := range s.words {
+		base := wi * 64
+		for w != 0 {
+			buf = append(buf, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
 	return buf
 }

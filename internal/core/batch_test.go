@@ -138,7 +138,7 @@ func TestBatchRunnerRejectsDynamic(t *testing.T) {
 // TestTrialLoopZeroAlloc: a complete steady-state batch — per-lane
 // reseed, batched randomize, recorder+simulator resets, lockstep run to
 // silence, ragged retires with suffix recording and result fill —
-// allocates nothing beyond the amortized round-boundary appends.
+// allocates nothing.
 func TestBatchedTrialLoopZeroAlloc(t *testing.T) {
 	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
 	if err != nil {

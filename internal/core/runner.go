@@ -13,8 +13,8 @@ import (
 // Runner is a reusable trial-execution context: one resettable recorder,
 // simulator, scheduler slot and initial-configuration buffer that
 // together make the steady-state trial loop — setup, run-to-silence,
-// report — allocation-free (excluding the amortized round-boundary
-// append). The experiment pool builds one Runner per worker and reuses it
+// report — allocation-free.
+// The experiment pool builds one Runner per worker and reuses it
 // across every trial the worker executes; the free-standing Run keeps its
 // one-shot semantics as a thin wrapper over a throwaway Runner.
 //

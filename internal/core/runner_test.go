@@ -133,9 +133,9 @@ func TestRunnerResultsDoNotAliasRunner(t *testing.T) {
 // TestTrialLoopZeroAlloc is the tentpole acceptance check: a complete
 // steady-state pooled trial — scheduler reset, random initial
 // configuration, recorder+simulator reset, run to silence, suffix
-// recording, ReportInto, final-config copy — allocates nothing beyond
-// the amortized round-boundary append. The trial carries a no-op event
-// scope: observation plumbing is part of the 0 allocs/op contract.
+// recording, ReportInto, final-config copy — allocates nothing. The
+// trial carries a no-op event scope: observation plumbing is part of
+// the 0 allocs/op contract.
 func TestTrialLoopZeroAlloc(t *testing.T) {
 	sys, err := model.NewSystem(graph.Cycle(9), coloring.Spec(), nil)
 	if err != nil {

@@ -16,8 +16,8 @@ func quickCfg() Config {
 func TestRegistryComplete(t *testing.T) {
 	t.Parallel()
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(ids))
 	}
 	for i, id := range ids {
 		want := "E" + itoa(i+1)

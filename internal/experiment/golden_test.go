@@ -41,7 +41,7 @@ func renderGolden(res *Result) string {
 func TestGoldenTables(t *testing.T) {
 	t.Parallel()
 	for _, e := range Registry() {
-		if e.ID == "E12" {
+		if e.ID == "E12" || e.ID == "E22" {
 			continue // wall-clock-dependent by design
 		}
 		e := e

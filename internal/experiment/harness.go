@@ -122,6 +122,7 @@ func Registry() []Entry {
 		{"E19", "convergence under edge rewiring (dynamic topology)", E19ChurnedConvergence},
 		{"E20", "cut-and-heal recovery on partitioned topologies", E20CutHealing},
 		{"E21", "composed crash/join churn and state faults", E21CrashJoinComposed},
+		{"E22", "million-process scaling: wall-clock and memory to silence", E22MillionScale},
 	}
 }
 

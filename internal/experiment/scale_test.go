@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// largeNTable runs pool-driven COLORING trials on 10⁴-process graphs —
+// sizes that put the recorder in its sparse representation and the
+// schedulers on their large-n paths — and renders the aggregate table.
+func largeNTable(t *testing.T, par int) string {
+	t.Helper()
+	r := rng.New(rng.Derive(2009, 9))
+	torus := graph.Torus(100, 100)
+	gnp := graph.RandomConnectedGNP(10_000, 6/10_000.0, r)
+	laziest := func(uint64) model.Scheduler { return sched.NewLaziestFair() }
+	specs := []ProtoCell{
+		{Graph: torus, Family: FamColoring, SuffixRounds: 1},
+		{Graph: gnp, Family: FamColoring, SuffixRounds: 1},
+		{Graph: torus, Family: FamColoring, Sched: laziest, SchedName: "laziest-fair"},
+	}
+	cfg := Config{Seed: 2009, Trials: 2, MaxSteps: 5_000_000, Parallelism: par}
+	accs := make([]core.Convergence, len(specs))
+	for i := range accs {
+		accs[i] = core.NewConvergence()
+	}
+	err := RunProtoCellsReduce(cfg, specs, func(cell, _ int, res *core.RunResult) error {
+		accs[cell].Add(res)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := stats.NewTable("large-n smoke",
+		"graph", "sched", "converged", "max rounds", "max steps", "max k-eff")
+	for i, sp := range specs {
+		name := sp.SchedName
+		if name == "" {
+			name = defaultSchedName
+		}
+		a := accs[i]
+		table.AddRow(sp.Graph.Name(), name,
+			fmt.Sprintf("%d/%d", a.Converged, a.Runs), a.MaxRounds, a.MaxSteps, a.MaxKEfficiency)
+	}
+	return table.String()
+}
+
+// TestLargeNTablesAcrossParallelism is the large-n determinism smoke:
+// at n = 10⁴ the sparse recorder, the incremental enabled/silence
+// queues and the laziest-fair ring all replace what used to be dense
+// per-step structures, and the rendered trial tables must remain
+// byte-identical between Parallelism 1 and 4 — the same contract the
+// quick-suite registry sweeps pin at small n. Skipped under -short (the
+// cells run millions of steps).
+func TestLargeNTablesAcrossParallelism(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("large-n smoke is a long test")
+	}
+	seq := largeNTable(t, 1)
+	parl := largeNTable(t, 4)
+	if seq != parl {
+		t.Fatalf("large-n tables differ between Parallelism 1 and 4:\n--- 1 ---\n%s\n--- 4 ---\n%s", seq, parl)
+	}
+	if agg := largeNTable(t, 4); agg != parl {
+		t.Fatalf("large-n tables differ between repeated runs at Parallelism 4:\n--- a ---\n%s\n--- b ---\n%s", parl, agg)
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// legacyTorus replicates the historical Builder-based torus construction.
+func legacyTorus(w, h int) *Graph {
+	b := NewBuilder(w*h, fmt.Sprintf("torus-%dx%d", w, h))
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.MustAddEdge(id(x, y), id((x+1)%w, y))
+			b.MustAddEdge(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	return b.Build()
+}
+
+// legacyGNP replicates the historical Builder-based per-pair-Bernoulli
+// RandomConnectedGNP construction, draw for draw.
+func legacyGNP(n int, p float64, r *rng.Rand) *Graph {
+	b := NewBuilder(n, fmt.Sprintf("gnp-%d-%.3f", n, p))
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		b.MustAddEdge(perm[i], perm[r.Intn(i)])
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !b.HasEdge(u, v) && r.Float64() < p {
+				b.MustAddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// legacyRegular replicates the historical Builder-based pairing-model
+// RandomRegular construction.
+func legacyRegular(n, d int, r *rng.Rand) (*Graph, error) {
+	const maxAttempts = 5000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for k := 0; k < d; k++ {
+				stubs = append(stubs, v)
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		b := NewBuilder(n, fmt.Sprintf("regular-%d-%d", n, d))
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v || b.HasEdge(u, v) {
+				ok = false
+				break
+			}
+			b.MustAddEdge(u, v)
+		}
+		if !ok {
+			continue
+		}
+		g := b.Build()
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("no pairing after %d attempts", maxAttempts)
+}
+
+// requireIdentical asserts full structural identity including back-port
+// tables (Equal covers adjacency and port order; back ports are derived
+// but the CSR path computes them directly, so check them explicitly).
+func requireIdentical(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if !got.Equal(want) {
+		t.Fatalf("%s: CSR graph differs from Builder graph\ngot  %v\nwant %v", label, got, want)
+	}
+	if got.Name() != want.Name() {
+		t.Fatalf("%s: name %q, want %q", label, got.Name(), want.Name())
+	}
+	for p := 0; p < want.N(); p++ {
+		for port := 1; port <= want.Degree(p); port++ {
+			if got.BackPort(p, port) != want.BackPort(p, port) {
+				t.Fatalf("%s: BackPort(%d,%d) = %d, want %d",
+					label, p, port, got.BackPort(p, port), want.BackPort(p, port))
+			}
+		}
+	}
+}
+
+// TestCSRMatchesBuilder: every CSR-direct generator must produce a graph
+// structurally identical — adjacency, port order, back ports, name — to
+// the historical Builder construction at the same seed.
+func TestCSRMatchesBuilder(t *testing.T) {
+	t.Parallel()
+	for _, wh := range [][2]int{{3, 3}, {4, 3}, {5, 7}} {
+		label := fmt.Sprintf("torus-%dx%d", wh[0], wh[1])
+		requireIdentical(t, label, Torus(wh[0], wh[1]), legacyTorus(wh[0], wh[1]))
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		label := fmt.Sprintf("gnp seed %d", seed)
+		got := RandomConnectedGNP(20, 0.2, rng.New(seed))
+		want := legacyGNP(20, 0.2, rng.New(seed))
+		requireIdentical(t, label, got, want)
+
+		label = fmt.Sprintf("regular seed %d", seed)
+		g, err := RandomRegular(16, 4, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := legacyRegular(16, 4, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, label, g, w)
+	}
+}
+
+// TestGNPStreamingPath exercises the geometric-skip sampler (forced by
+// lowering the threshold): the result must be simple, connected,
+// deterministic in the seed, and carry an edge count consistent with
+// tree + Binomial(pairs, p). Not parallel: it mutates the threshold.
+func TestGNPStreamingPath(t *testing.T) {
+	old := gnpStreamThreshold
+	gnpStreamThreshold = 1
+	defer func() { gnpStreamThreshold = old }()
+
+	const n = 400
+	const p = 0.02
+	g := RandomConnectedGNP(n, p, rng.New(9))
+	if !g.IsConnected() {
+		t.Fatal("streaming GNP graph is disconnected")
+	}
+	// Simplicity: no self-loops or duplicate neighbors.
+	for v := 0; v < n; v++ {
+		seen := map[int]bool{}
+		for port := 1; port <= g.Degree(v); port++ {
+			q := g.Neighbor(v, port)
+			if q == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+			if seen[q] {
+				t.Fatalf("duplicate neighbor %d at %d", q, v)
+			}
+			seen[q] = true
+		}
+	}
+	// Edge count: n-1 tree edges plus ~ Binomial(pairs, p) extras (the
+	// sampler also covers tree pairs, whose hits are discarded, so the
+	// extras run a hair under the binomial mean); allow 5σ.
+	pairs := float64(n*(n-1)) / 2
+	mean := pairs * p
+	sigma := math.Sqrt(pairs * p * (1 - p))
+	if extras := float64(g.M() - (n - 1)); extras < mean-5*sigma || extras > mean+5*sigma {
+		t.Fatalf("streaming GNP extra-edge count %.0f outside 5σ of mean %.1f", extras, mean)
+	}
+
+	h := RandomConnectedGNP(n, p, rng.New(9))
+	if !g.Equal(h) {
+		t.Fatal("streaming GNP is not deterministic in the seed")
+	}
+	if RandomConnectedGNP(n, p, rng.New(10)).Equal(g) {
+		t.Fatal("different seeds produced identical streaming GNP graphs")
+	}
+}

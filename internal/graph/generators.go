@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/rng"
@@ -78,19 +79,24 @@ func Grid(w, h int) *Graph {
 }
 
 // Torus returns the w x h torus (grid with wraparound); w, h >= 3.
+// Construction is CSR-direct (see csr.go): the edge stream goes straight
+// into flat adjacency arenas, no builder map — a 1000×1000 torus is two
+// 4-million-word arenas, not a 2-million-entry hash map.
 func Torus(w, h int) *Graph {
 	if w < 3 || h < 3 {
 		panic("graph: Torus requires w, h >= 3")
 	}
-	b := NewBuilder(w*h, fmt.Sprintf("torus-%dx%d", w, h))
-	id := func(x, y int) int { return y*w + x }
+	n := w * h
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	edges := make([][2]int32, 0, 2*n)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			b.MustAddEdge(id(x, y), id((x+1)%w, y))
-			b.MustAddEdge(id(x, y), id(x, (y+1)%h))
+			edges = append(edges,
+				[2]int32{id(x, y), id((x+1)%w, y)},
+				[2]int32{id(x, y), id(x, (y+1)%h)})
 		}
 	}
-	return b.Build()
+	return csrFromEdges(fmt.Sprintf("torus-%dx%d", w, h), n, edges)
 }
 
 // Hypercube returns the d-dimensional hypercube Q_d on 2^d processes.
@@ -183,24 +189,81 @@ func RandomTree(n int, r *rng.Rand) *Graph {
 	return b.Build()
 }
 
+// gnpStreamThreshold is the size above which RandomConnectedGNP samples
+// edges by geometric skips instead of per-pair Bernoulli draws. Below
+// it, the historical draw stream is preserved exactly (every committed
+// golden that uses GNP graphs is far below it); above it, the draw
+// stream is version-bumped — documented here, not silent — because an
+// O(n²) stream cannot reach n = 10⁶. The sampled distribution is the
+// same either way: each non-tree pair appears independently with
+// probability p. A var only so tests can exercise the streaming path at
+// checkable sizes.
+var gnpStreamThreshold = 4096
+
 // RandomConnectedGNP returns a connected Erdős–Rényi-style random graph:
 // a uniform random spanning tree plus each remaining pair independently
 // with probability p.
+//
+// For n above gnpStreamThreshold the pair sweep runs by geometric skip
+// sampling — O(m) draws rather than O(n²) — with skips that land on
+// spanning-tree edges discarded (sampling a superset keeps non-tree
+// pairs independent at probability p). That changes the seed→graph
+// mapping at large n relative to the historical per-pair stream; see
+// gnpStreamThreshold.
 func RandomConnectedGNP(n int, p float64, r *rng.Rand) *Graph {
-	b := NewBuilder(n, fmt.Sprintf("gnp-%d-%.3f", n, p))
+	name := fmt.Sprintf("gnp-%d-%.3f", n, p)
 	// Random spanning tree by random attachment to ensure connectivity.
 	perm := r.Perm(n)
+	edges := make([][2]int32, 0, n-1+int(p*float64(n)*float64(n-1)/2))
+	treeKeys := make([]int64, 0, n-1)
 	for i := 1; i < n; i++ {
-		b.MustAddEdge(perm[i], perm[r.Intn(i)])
+		u, v := perm[i], perm[r.Intn(i)]
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+		treeKeys = append(treeKeys, packEdge(u, v))
 	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if !b.HasEdge(u, v) && r.Float64() < p {
-				b.MustAddEdge(u, v)
+	slices.Sort(treeKeys)
+	if n <= gnpStreamThreshold || p <= 0 || p >= 1 {
+		// Historical per-pair Bernoulli stream: a draw for every
+		// non-tree pair, in ascending pair order.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if !searchInt64(treeKeys, packEdge(u, v)) && r.Float64() < p {
+					edges = append(edges, [2]int32{int32(u), int32(v)})
+				}
 			}
 		}
+		return csrFromEdges(name, n, edges)
 	}
-	return b.Build()
+	// Geometric skip sampling over the ascending pair order: the gap to
+	// the next sampled pair is Geometric(p), so the sweep costs one draw
+	// per *edge*, not per pair. Row advancement is incremental — the
+	// inner loop walks each row header at most once across the whole
+	// sweep, so the total cost is O(n + m).
+	logq := math.Log1p(-p)
+	u, v := 0, 0 // position just before the first pair (0,1)
+	for {
+		gap := math.Log(1-r.Float64()) / logq
+		if gap > float64(n)*float64(n) {
+			break // jump past every remaining pair; avoid int overflow
+		}
+		skip := 1 + int(gap)
+		if skip < 1 {
+			skip = 1 // guard against rounding at tiny draws
+		}
+		v += skip
+		for u < n-1 && v >= n {
+			excess := v - n
+			u++
+			v = u + 1 + excess
+		}
+		if u >= n-1 {
+			break
+		}
+		if !searchInt64(treeKeys, packEdge(u, v)) {
+			edges = append(edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return csrFromEdges(name, n, edges)
 }
 
 // RandomRegular returns a random d-regular connected graph on n processes
@@ -216,32 +279,64 @@ func RandomRegular(n, d int, r *rng.Rand) (*Graph, error) {
 	if d == 0 {
 		return nil, fmt.Errorf("graph: RandomRegular: need d >= 1")
 	}
+	// The pairing loop fills fixed-degree CSR arenas directly (every
+	// vertex ends at exactly d neighbors, so row offsets are v*d): the
+	// duplicate-edge rejection scans u's partial row — O(d) against the
+	// builder map's per-edge hash entry — and rejected attempts reuse the
+	// arenas. Edge insertion order, and with it the rejection and
+	// connectivity stream, matches the historical Builder path exactly.
 	const maxAttempts = 5000
+	stubs := make([]int, n*d)
+	adjArena := make([]int, n*d)
+	backArena := make([]int, n*d)
+	cnt := make([]int, n)
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		stubs := make([]int, 0, n*d)
-		for v := 0; v < n; v++ {
-			for k := 0; k < d; k++ {
-				stubs = append(stubs, v)
-			}
+		// Refill in sorted order every attempt: the historical path
+		// rebuilt the stub list from scratch, so each shuffle starts from
+		// the same arrangement — reusing the shuffled buffer would
+		// change the seed→graph mapping.
+		for i := range stubs {
+			stubs[i] = i / d
 		}
 		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-		b := NewBuilder(n, fmt.Sprintf("regular-%d-%d", n, d))
+		for i := range cnt {
+			cnt[i] = 0
+		}
 		ok := true
+	pairing:
 		for i := 0; i < len(stubs); i += 2 {
 			u, v := stubs[i], stubs[i+1]
-			if u == v || b.HasEdge(u, v) {
+			if u == v {
 				ok = false
 				break
 			}
-			b.MustAddEdge(u, v)
+			for _, q := range adjArena[u*d : u*d+cnt[u]] {
+				if q == v {
+					ok = false
+					break pairing
+				}
+			}
+			iu, iv := cnt[u], cnt[v]
+			adjArena[u*d+iu] = v
+			adjArena[v*d+iv] = u
+			backArena[u*d+iu] = iv
+			backArena[v*d+iv] = iu
+			cnt[u], cnt[v] = iu+1, iv+1
 		}
 		if !ok {
 			continue
 		}
-		g := b.Build()
+		g := &Graph{name: fmt.Sprintf("regular-%d-%d", n, d), m: n * d / 2,
+			adj: make([][]int, n), back: make([][]int, n)}
+		for v := 0; v < n; v++ {
+			g.adj[v] = adjArena[v*d : (v+1)*d : (v+1)*d]
+			g.back[v] = backArena[v*d : (v+1)*d : (v+1)*d]
+		}
 		if g.IsConnected() {
 			return g, nil
 		}
+		// Disconnected: g is discarded and the next attempt overwrites
+		// the arenas its rows pointed at.
 	}
 	return nil, fmt.Errorf("graph: RandomRegular: no simple connected pairing after %d attempts", maxAttempts)
 }

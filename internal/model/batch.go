@@ -82,16 +82,16 @@ func NewConfigBatch(s *System, b int) []*Config {
 // path's for the same generator state.
 func RandomizeConfigBatch(s *System, cfgs []*Config, rands []*rng.Rand) {
 	for p := 0; p < s.N(); p++ {
-		cd, id := s.commDomains[p], s.internalDomains[p]
+		cd, id := s.commDomainRow(p), s.internalDomainRow(p)
 		for l, cfg := range cfgs {
 			r := rands[l]
 			row := cfg.Comm[p]
 			for v := range row {
-				row[v] = r.Intn(cd[v])
+				row[v] = r.Intn(int(cd[v]))
 			}
 			row = cfg.Internal[p]
 			for v := range row {
-				row[v] = r.Intn(id[v])
+				row[v] = r.Intn(int(id[v]))
 			}
 		}
 	}

@@ -156,9 +156,9 @@ func (c *Ctx) Comm(v int) int { return c.comm[v] }
 
 // SetComm assigns the process's own communication variable v.
 func (c *Ctx) SetComm(v, val int) {
-	if val < 0 || val >= c.sys.commDomains[c.p][v] {
+	if val < 0 || val >= c.sys.CommDomain(c.p, v) {
 		panic(fmt.Sprintf("model: %s: comm %s=%d outside [0,%d) at process %d",
-			c.sys.spec.Name, c.sys.spec.Comm[v].Name, val, c.sys.commDomains[c.p][v], c.p))
+			c.sys.spec.Name, c.sys.spec.Comm[v].Name, val, c.sys.CommDomain(c.p, v), c.p))
 	}
 	c.comm[v] = val
 }
@@ -168,15 +168,15 @@ func (c *Ctx) Internal(v int) int { return c.internal[v] }
 
 // SetInternal assigns the process's own internal variable v.
 func (c *Ctx) SetInternal(v, val int) {
-	if val < 0 || val >= c.sys.internalDomains[c.p][v] {
+	if val < 0 || val >= c.sys.InternalDomain(c.p, v) {
 		panic(fmt.Sprintf("model: %s: internal %s=%d outside [0,%d) at process %d",
-			c.sys.spec.Name, c.sys.spec.Internal[v].Name, val, c.sys.internalDomains[c.p][v], c.p))
+			c.sys.spec.Name, c.sys.spec.Internal[v].Name, val, c.sys.InternalDomain(c.p, v), c.p))
 	}
 	c.internal[v] = val
 }
 
 // Const returns the process's own communication constant v.
-func (c *Ctx) Const(v int) int { return c.sys.consts[c.p][v] }
+func (c *Ctx) Const(v int) int { return c.sys.Const(c.p, v) }
 
 // NeighborComm reads communication variable v of the neighbor behind
 // port (1..δ.p). The read is instrumented: it counts toward the step's
@@ -188,9 +188,9 @@ func (c *Ctx) NeighborComm(port, v int) int {
 	q := c.sys.g.Neighbor(c.p, port)
 	if c.obs != nil {
 		if c.recordBatch {
-			c.arena.readBuf = append(c.arena.readBuf, ReadRec{Q: q, Kind: KindComm, V: v, Bits: c.sys.commBits[q][v]})
+			c.arena.readBuf = append(c.arena.readBuf, ReadRec{Q: q, Kind: KindComm, V: v, Bits: c.sys.commBit(q, v)})
 		} else {
-			c.obs.Read(c.step, c.p, q, KindComm, v, c.sys.commBits[q][v])
+			c.obs.Read(c.step, c.p, q, KindComm, v, c.sys.commBit(q, v))
 		}
 	}
 	return c.pre.Comm[q][v]
@@ -206,12 +206,12 @@ func (c *Ctx) NeighborConst(port, v int) int {
 	q := c.sys.g.Neighbor(c.p, port)
 	if c.obs != nil {
 		if c.recordBatch {
-			c.arena.readBuf = append(c.arena.readBuf, ReadRec{Q: q, Kind: KindConst, V: v, Bits: c.sys.constBits[q][v]})
+			c.arena.readBuf = append(c.arena.readBuf, ReadRec{Q: q, Kind: KindConst, V: v, Bits: c.sys.constBit(q, v)})
 		} else {
-			c.obs.Read(c.step, c.p, q, KindConst, v, c.sys.constBits[q][v])
+			c.obs.Read(c.step, c.p, q, KindConst, v, c.sys.constBit(q, v))
 		}
 	}
-	return c.sys.consts[q][v]
+	return c.sys.Const(q, v)
 }
 
 // BeginCachedView redirects subsequent NeighborComm/NeighborConst calls

@@ -1,5 +1,7 @@
 package model
 
+import "repro/internal/bitset"
+
 // EnabledView is the read-only enabledness probe offered to schedulers
 // and analysis code: the daemon's omniscience (Section 2), served
 // incrementally. Probes are side-effect free and unrecorded — they do not
@@ -42,7 +44,21 @@ type EnabledTracker struct {
 	cfg *Config
 
 	valid  []bool
-	action []int // cached first-enabled action (-1: disabled); valid[p] gates it
+	action []int // last committed verdict: first enabled action, -1 disabled
+
+	// AppendEnabled support: enabled mirrors the committed verdicts as a
+	// bitset (bit p set iff action[p] >= 0 — recomputes touch it only when
+	// the verdict flips sign), and stale queues individually invalidated
+	// processes (queued[p] dedups entries, so the queue never exceeds n);
+	// allStale replaces the queue after a whole-configuration
+	// invalidation. Enumerating the enabled set then costs
+	// O(stale-since-last-call) verdict repairs plus an O(n/64 + |enabled|)
+	// bitset walk instead of n probe calls — the per-step scan this
+	// removes was the enabled-biased daemon's large-n bottleneck.
+	enabled  *bitset.Set
+	stale    []int32
+	queued   []bool
+	allStale bool
 
 	probe Ctx // reusable probe context; own-state rows below
 }
@@ -63,6 +79,9 @@ func (t *EnabledTracker) Reset(sys *System, cfg *Config) {
 		t.sys = sys
 		t.valid = make([]bool, sys.N())
 		t.action = make([]int, sys.N())
+		t.enabled = bitset.New(sys.N())
+		t.stale = make([]int32, 0, sys.N())
+		t.queued = make([]bool, sys.N())
 		t.probe = Ctx{
 			sys:      sys,
 			comm:     make([]int, sys.CommWidth()),
@@ -73,7 +92,18 @@ func (t *EnabledTracker) Reset(sys *System, cfg *Config) {
 		for i := range t.valid {
 			t.valid[i] = false
 		}
+		for i := range t.queued {
+			t.queued[i] = false
+		}
+		t.enabled.Clear()
 	}
+	// action[p] = -1 with the bitset cleared keeps the mirror invariant
+	// (bit p set iff action[p] >= 0) from the very first recompute.
+	for i := range t.action {
+		t.action[i] = -1
+	}
+	t.stale = t.stale[:0]
+	t.allStale = true
 	t.cfg = cfg
 }
 
@@ -85,32 +115,44 @@ func (t *EnabledTracker) EnabledAction(p int) int {
 	if t.valid[p] {
 		return t.action[p]
 	}
-	if t.sys.g.Degree(p) == 0 {
-		// Isolated (crashed under dynamic topology): disabled by
-		// definition, and guards may not be evaluated at degree 0.
-		t.action[p] = -1
-		t.valid[p] = true
-		return -1
-	}
-	c := &t.probe
-	c.pre = t.cfg
-	c.p = p
-	c.cacheIndex = nil
-	c.rand = nil
-	c.obs = nil
-	copy(c.comm, t.cfg.Comm[p])
-	copy(c.internal, t.cfg.Internal[p])
+	return t.recompute(p)
+}
+
+// recompute re-evaluates p's guards and commits the verdict, updating the
+// enabled bitset only when the verdict changed sign — in steady state most
+// invalidations re-derive the same verdict, and the mirror stays untouched.
+func (t *EnabledTracker) recompute(p int) int {
 	idx := -1
-	actions := t.sys.spec.Actions
-	for i := range actions {
-		c.beginBody()
-		if actions[i].Guard(c) {
-			idx = i
-			break
+	if t.sys.g.Degree(p) > 0 {
+		// Isolated processes (crashed under dynamic topology) stay at
+		// idx = -1: disabled by definition, and guards may not be
+		// evaluated at degree 0.
+		c := &t.probe
+		c.pre = t.cfg
+		c.p = p
+		c.cacheIndex = nil
+		c.rand = nil
+		c.obs = nil
+		copy(c.comm, t.cfg.Comm[p])
+		copy(c.internal, t.cfg.Internal[p])
+		actions := t.sys.spec.Actions
+		for i := range actions {
+			c.beginBody()
+			if actions[i].Guard(c) {
+				idx = i
+				break
+			}
+		}
+	}
+	t.valid[p] = true
+	if old := t.action[p]; (old >= 0) != (idx >= 0) {
+		if idx >= 0 {
+			t.enabled.Add(p)
+		} else {
+			t.enabled.Remove(p)
 		}
 	}
 	t.action[p] = idx
-	t.valid[p] = true
 	return idx
 }
 
@@ -118,32 +160,58 @@ func (t *EnabledTracker) EnabledAction(p int) int {
 func (t *EnabledTracker) Enabled(p int) bool { return t.EnabledAction(p) >= 0 }
 
 // AppendEnabled appends all enabled process ids to dst in ascending order
-// (exactly EnabledSet's order) and returns the extended slice.
+// (exactly EnabledSet's order) and returns the extended slice. Stale
+// verdicts are repaired first, then the enabled bitset is walked — the
+// call never probes a process whose cached verdict is still valid.
 func (t *EnabledTracker) AppendEnabled(dst []int) []int {
-	for p := 0; p < t.sys.N(); p++ {
-		if t.EnabledAction(p) >= 0 {
-			dst = append(dst, p)
+	if t.allStale {
+		t.allStale = false
+		for p := 0; p < t.sys.N(); p++ {
+			if !t.valid[p] {
+				t.recompute(p)
+			}
+		}
+		for _, p32 := range t.stale {
+			t.queued[p32] = false
+		}
+	} else {
+		for _, p32 := range t.stale {
+			p := int(p32)
+			t.queued[p] = false
+			if !t.valid[p] {
+				t.recompute(p)
+			}
 		}
 	}
-	return dst
+	t.stale = t.stale[:0]
+	return t.enabled.Elems(dst)
 }
 
 // Invalidate marks p's cached verdict stale (p's own state changed).
-func (t *EnabledTracker) Invalidate(p int) { t.valid[p] = false }
+func (t *EnabledTracker) Invalidate(p int) {
+	t.valid[p] = false
+	if !t.queued[p] {
+		t.queued[p] = true
+		t.stale = append(t.stale, int32(p))
+	}
+}
 
 // InvalidateNeighbors marks the verdicts of p's neighbors stale (p's
 // communication state changed).
 func (t *EnabledTracker) InvalidateNeighbors(p int) {
 	g := t.sys.g
 	for port := 1; port <= g.Degree(p); port++ {
-		t.valid[g.Neighbor(p, port)] = false
+		t.Invalidate(g.Neighbor(p, port))
 	}
 }
 
 // InvalidateAll marks every verdict stale. Call it after mutating the
-// configuration outside the simulator.
+// configuration outside the simulator. The whole-set case bypasses the
+// stale queue: clearing valid[] is a memclr and allStale tells the next
+// AppendEnabled to sweep linearly instead of draining n queue entries.
 func (t *EnabledTracker) InvalidateAll() {
 	for p := range t.valid {
 		t.valid[p] = false
 	}
+	t.allStale = true
 }

@@ -256,6 +256,7 @@ func TestRoundTracking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sim.RecordRoundBoundaries(true)
 	sim.RunSteps(7)
 	// Selections 0,1,2 complete round 1 at step 2; 3,4,5 complete round 2
 	// at step 5; step 6 is mid-round.

@@ -74,7 +74,7 @@ func (o *orbitProbe) encodable(p int) bool {
 	}
 	mult := uint64(1)
 	ok := true
-	for _, doms := range [][]int{o.sys.commDomains[p], o.sys.internalDomains[p]} {
+	for _, doms := range [][]int32{o.sys.commDomainRow(p), o.sys.internalDomainRow(p)} {
 		for _, dom := range doms {
 			if dom <= 1 {
 				continue
@@ -102,13 +102,14 @@ func (o *orbitProbe) encodable(p int) bool {
 // encodable processes).
 func (o *orbitProbe) encode(p int) uint64 {
 	key, mult := uint64(0), uint64(1)
+	cd, id := o.sys.commDomainRow(p), o.sys.internalDomainRow(p)
 	for v, val := range o.comm {
 		key += uint64(val) * mult
-		mult *= uint64(o.sys.commDomains[p][v])
+		mult *= uint64(cd[v])
 	}
 	for v, val := range o.internal {
 		key += uint64(val) * mult
-		mult *= uint64(o.sys.internalDomains[p][v])
+		mult *= uint64(id[v])
 	}
 	return key
 }

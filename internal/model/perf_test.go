@@ -28,9 +28,7 @@ func coloringSystem(t testing.TB, g *graph.Graph) *model.System {
 }
 
 // testStepZeroAlloc drives a simulator past warmup and asserts that
-// further steps perform no heap allocation. The warmup is sized so the
-// amortized round-boundary log has enough spare capacity to absorb the
-// measured steps without growing.
+// further steps perform no heap allocation.
 func testStepZeroAlloc(t *testing.T, sc model.Scheduler) {
 	t.Helper()
 	sys := coloringSystem(t, graph.Torus(4, 4))

@@ -29,6 +29,7 @@ func TestSimulatorResetMatchesFresh(t *testing.T) {
 	}
 
 	reused := &model.Simulator{}
+	reused.RecordRoundBoundaries(true)
 	for trial := 0; trial < 6; trial++ {
 		sys := colSys
 		if trial%2 == 1 {
@@ -41,6 +42,7 @@ func TestSimulatorResetMatchesFresh(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		fresh.RecordRoundBoundaries(true)
 		// Reset adopts its configuration, so hand it a private copy.
 		if err := reused.Reset(sys, initial.Clone(), sched.NewRandomSubset(seed), seed, nil); err != nil {
 			t.Fatal(err)

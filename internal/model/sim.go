@@ -37,15 +37,22 @@ type Simulator struct {
 	seed uint64
 	step int
 
-	round           int
-	seenThisRound   []bool
-	remainingInRnd  int
-	roundBoundaries []int // step index at which each round completed
+	round          int
+	seenThisRound  []bool
+	remainingInRnd int
+
+	// roundBoundaries retains the step index at which each round
+	// completed — an O(rounds) log kept only when recordBoundaries is
+	// set (RecordRoundBoundaries): production runs need Rounds(), not
+	// the per-round history, and the log would otherwise grow without
+	// bound over long executions.
+	roundBoundaries []int
+	recordBounds    bool
 
 	// arena holds the reusable per-process execution state: after the
-	// first step, Step performs no heap allocation (beyond the amortized
-	// round-boundary append). It points at ownArena, or at a shared
-	// StepScratch's arena when the simulator was bound via ResetShared.
+	// first step, Step performs no heap allocation. It points at
+	// ownArena, or at a shared StepScratch's arena when the simulator
+	// was bound via ResetShared.
 	arena    *stepArena
 	ownArena *stepArena
 
@@ -66,7 +73,17 @@ type Simulator struct {
 	// its neighbors' communication state, so Step invalidates p when p's
 	// state changes and p's neighbors when p's communication state
 	// changes.
-	silence []int8
+	//
+	// silUnknown queues exactly the processes whose verdict is
+	// silenceUnknown (invalidation enqueues on the silent/broken →
+	// unknown transition only, probing dequeues), and silBroken counts
+	// the cached silenceBroken verdicts. Together they make SilentNow
+	// O(invalidated-since-last-check) instead of an O(n) sweep over the
+	// verdict vector — the difference between a per-step silence check
+	// costing O(activity) and costing O(n) at n = 10⁶.
+	silence    []int8
+	silUnknown []int32
+	silBroken  int
 
 	// Silent-phase replay memo (see memoStep). Once SilentNow proves the
 	// configuration communication-silent, no process ever changes its
@@ -160,6 +177,7 @@ func (s *Simulator) reset(sys *System, cfg0 *Config, sched Scheduler, seed uint6
 		s.sys = sys
 		s.seenThisRound = make([]bool, sys.N())
 		s.silence = make([]int8, sys.N())
+		s.silUnknown = make([]int32, 0, sys.N())
 		s.memoEntries = make([][]silentEntry, sys.N())
 	} else {
 		for i := range s.seenThisRound {
@@ -169,6 +187,11 @@ func (s *Simulator) reset(sys *System, cfg0 *Config, sched Scheduler, seed uint6
 			s.silence[i] = silenceUnknown
 		}
 	}
+	s.silUnknown = s.silUnknown[:0]
+	for p := 0; p < sys.N(); p++ {
+		s.silUnknown = append(s.silUnknown, int32(p))
+	}
+	s.silBroken = 0
 	s.memoReset()
 	s.memoObs, _ = obs.(BatchReadObserver)
 	s.memoReplay, _ = obs.(ReplayObserver)
@@ -217,8 +240,15 @@ func (s *Simulator) Steps() int { return s.step }
 // Rounds returns the number of completed rounds.
 func (s *Simulator) Rounds() int { return s.round }
 
+// RecordRoundBoundaries toggles retention of the per-round boundary log
+// read by RoundBoundaries. Off by default: the log grows O(rounds) with
+// no bound, and only diagnostic consumers read it. The setting survives
+// Reset.
+func (s *Simulator) RecordRoundBoundaries(on bool) { s.recordBounds = on }
+
 // RoundBoundaries returns the step index at which each completed round
-// ended.
+// ended. Empty unless RecordRoundBoundaries(true) was set before the
+// run.
 func (s *Simulator) RoundBoundaries() []int {
 	return append([]int(nil), s.roundBoundaries...)
 }
@@ -255,12 +285,12 @@ func (s *Simulator) Step() []int {
 		// state changed, the neighbors' cached verdicts are stale too.
 		// Enabledness and orbit-silence share the same dependency cone, so
 		// both caches follow the same dirty rule.
-		s.silence[p] = silenceUnknown
+		s.invalidateSilence(p)
 		s.tracker.Invalidate(p)
 		if commChanged[i] {
 			for port := 1; port <= s.sys.g.Degree(p); port++ {
 				q := s.sys.g.Neighbor(p, port)
-				s.silence[q] = silenceUnknown
+				s.invalidateSilence(q)
 				s.tracker.Invalidate(q)
 			}
 		}
@@ -276,7 +306,9 @@ func (s *Simulator) Step() []int {
 	if s.remainingInRnd == 0 {
 		roundCompleted = true
 		s.round++
-		s.roundBoundaries = append(s.roundBoundaries, s.step)
+		if s.recordBounds {
+			s.roundBoundaries = append(s.roundBoundaries, s.step)
+		}
 		for i := range s.seenThisRound {
 			s.seenThisRound[i] = false
 		}
@@ -345,21 +377,26 @@ func (s *Simulator) RunUntilSilent(maxSteps, checkEvery int) (bool, error) {
 // invalidated by Step. It is equivalent to CommSilent(Sys(), Config())
 // as long as the configuration is only mutated through Step.
 //
-// The fast path is allocation-free: a disabled process is a local fixed
-// point, and its disabledness comes from the incremental tracker rather
-// than a from-scratch probe. Only enabled processes pay for the full
-// orbit exploration, and a standing negative verdict is cached too: a
-// configuration whose non-silent witness was not touched since the last
-// check answers false without re-running its orbit — with silence
-// checked every step, that turns the per-step cost from one guaranteed
-// probe into a probe only when the witness's neighborhood moved.
+// The fast path is allocation-free and O(invalidated-since-last-check):
+// a standing broken verdict answers false from a counter, and only the
+// processes whose verdicts were invalidated (queued by Step/MarkDirty)
+// are re-probed — the verdict vector is never swept. Of those, a
+// disabled process is a local fixed point whose disabledness comes from
+// the incremental tracker; only enabled processes pay for the full orbit
+// exploration. Probes are side-effect-free and every queued process gets
+// the same verdict it would under an ascending sweep, so drain order
+// cannot be observed.
 func (s *Simulator) SilentNow() (bool, error) {
-	for p := 0; p < s.sys.N(); p++ {
-		switch s.silence[p] {
-		case silenceSilent:
+	if s.silBroken > 0 {
+		return false, nil
+	}
+	for len(s.silUnknown) > 0 {
+		p := int(s.silUnknown[len(s.silUnknown)-1])
+		s.silUnknown = s.silUnknown[:len(s.silUnknown)-1]
+		if s.silence[p] != silenceUnknown {
+			// Unreachable under the queue invariant; harmless if it ever
+			// loosens.
 			continue
-		case silenceBroken:
-			return false, nil
 		}
 		if s.tracker.EnabledAction(p) < 0 {
 			// Disabled: the orbit is closed at the first state.
@@ -368,10 +405,13 @@ func (s *Simulator) SilentNow() (bool, error) {
 		}
 		silent, err := s.probe.enabledOrbitSilent(s.cfg, p, maxOrbit)
 		if err != nil {
+			// Keep the invariant: p is still unknown, so it stays queued.
+			s.silUnknown = append(s.silUnknown, int32(p))
 			return false, fmt.Errorf("model: silence check at process %d: %w", p, err)
 		}
 		if !silent {
 			s.silence[p] = silenceBroken
+			s.silBroken++
 			return false, nil
 		}
 		s.silence[p] = silenceSilent
@@ -400,13 +440,28 @@ func (s *Simulator) Tracker() *EnabledTracker { return s.tracker }
 // or tracker probe.
 func (s *Simulator) MarkDirty(p int) {
 	s.memoReset()
-	s.silence[p] = silenceUnknown
+	s.invalidateSilence(p)
 	s.tracker.Invalidate(p)
 	for port := 1; port <= s.sys.g.Degree(p); port++ {
 		q := s.sys.g.Neighbor(p, port)
-		s.silence[q] = silenceUnknown
+		s.invalidateSilence(q)
 		s.tracker.Invalidate(q)
 	}
+}
+
+// invalidateSilence drops p's cached silence verdict, maintaining the
+// unknown queue's invariant: a process is queued exactly when its
+// verdict is silenceUnknown, so re-invalidating an already-unknown
+// process enqueues nothing.
+func (s *Simulator) invalidateSilence(p int) {
+	switch s.silence[p] {
+	case silenceUnknown:
+		return
+	case silenceBroken:
+		s.silBroken--
+	}
+	s.silence[p] = silenceUnknown
+	s.silUnknown = append(s.silUnknown, int32(p))
 }
 
 // RunSteps executes exactly k further steps.

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"repro/internal/graph"
@@ -10,32 +11,35 @@ import (
 
 // System binds a protocol spec to a network: the graph, the per-process
 // communication constants, and precomputed variable domains.
+//
+// The per-process tables are flat stride-indexed arenas: process p's
+// entry for variable v lives at p*width+v, where width is the spec's
+// variable count for that kind. Elements are narrowed to int32 (domains
+// and constants; NewSystem rejects wider domains) and uint8 (bit
+// widths), so at n = 10⁶ the tables cost a few megabytes instead of the
+// jagged [][]int layout's six slice headers per process plus 8-byte
+// elements, and every guard-path lookup is one indexed load with no
+// pointer hop.
 type System struct {
 	g     *graph.Graph
 	spec  *Spec
 	delta int
 
-	consts [][]int // consts[p][v]
+	consts []int32 // consts[p*lc+v]
 
-	commDomains     [][]int // commDomains[p][v]
-	internalDomains [][]int
-	constDomains    [][]int
+	commDomains     []int32 // commDomains[p*wc+v]
+	internalDomains []int32 // internalDomains[p*wi+v]
+	constDomains    []int32 // constDomains[p*lc+v]
 
 	// Precomputed BitsFor over the domain tables: neighbor reads are the
 	// innermost operation of every guard, so the read-instrumentation
-	// path looks the width up instead of recomputing it. commBits rows
-	// follow refreshDomains under dynamic topologies; constBits is
-	// structural and never refreshed.
-	commBits  [][]int // commBits[p][v] = BitsFor(commDomains[p][v])
-	constBits [][]int
-}
+	// path looks the width up instead of recomputing it. commBits
+	// entries follow refreshDomains under dynamic topologies; constBits
+	// is structural and never refreshed.
+	commBits  []uint8 // commBits[p*wc+v] = BitsFor(CommDomain(p, v))
+	constBits []uint8
 
-func bitsRow(domains []int) []int {
-	out := make([]int, len(domains))
-	for v, d := range domains {
-		out[v] = BitsFor(d)
-	}
-	return out
+	wc, wi, lc int // table strides: len(spec.Comm/Internal/Const)
 }
 
 // NewSystem validates and builds a System. consts must have one row per
@@ -64,56 +68,62 @@ func NewSystem(g *graph.Graph, spec *Spec, consts [][]int) (*System, error) {
 		}
 	}
 
-	s := &System{g: g, spec: spec, delta: g.MaxDegree()}
-	s.commDomains = make([][]int, g.N())
-	s.internalDomains = make([][]int, g.N())
-	s.constDomains = make([][]int, g.N())
-	s.consts = make([][]int, g.N())
-	for p := 0; p < g.N(); p++ {
-		info := DomainInfo{N: g.N(), Delta: s.delta, Degree: g.Degree(p)}
-		s.commDomains[p] = domainsFor(spec.Comm, info)
-		s.internalDomains[p] = domainsFor(spec.Internal, info)
-		s.constDomains[p] = domainsFor(spec.Const, info)
-		for v, d := range s.commDomains[p] {
+	n := g.N()
+	s := &System{
+		g: g, spec: spec, delta: g.MaxDegree(),
+		wc: len(spec.Comm), wi: len(spec.Internal), lc: len(spec.Const),
+	}
+	s.commDomains = make([]int32, n*s.wc)
+	s.internalDomains = make([]int32, n*s.wi)
+	s.constDomains = make([]int32, n*s.lc)
+	s.commBits = make([]uint8, n*s.wc)
+	s.constBits = make([]uint8, n*s.lc)
+	s.consts = make([]int32, n*s.lc)
+	for p := 0; p < n; p++ {
+		info := DomainInfo{N: n, Delta: s.delta, Degree: g.Degree(p)}
+		for v, vs := range spec.Comm {
+			d := vs.Domain(info)
 			if d < 1 {
-				return nil, fmt.Errorf("model: comm var %s has empty domain at process %d", spec.Comm[v].Name, p)
+				return nil, fmt.Errorf("model: comm var %s has empty domain at process %d", vs.Name, p)
 			}
+			if d > math.MaxInt32 {
+				return nil, fmt.Errorf("model: comm var %s domain %d at process %d exceeds int32", vs.Name, d, p)
+			}
+			s.commDomains[p*s.wc+v] = int32(d)
+			s.commBits[p*s.wc+v] = uint8(BitsFor(d))
 		}
-		for v, d := range s.internalDomains[p] {
+		for v, vs := range spec.Internal {
+			d := vs.Domain(info)
 			if d < 1 {
-				return nil, fmt.Errorf("model: internal var %s has empty domain at process %d", spec.Internal[v].Name, p)
+				return nil, fmt.Errorf("model: internal var %s has empty domain at process %d", vs.Name, p)
 			}
+			if d > math.MaxInt32 {
+				return nil, fmt.Errorf("model: internal var %s domain %d at process %d exceeds int32", vs.Name, d, p)
+			}
+			s.internalDomains[p*s.wi+v] = int32(d)
+		}
+		for v, vs := range spec.Const {
+			d := vs.Domain(info)
+			if d > math.MaxInt32 {
+				return nil, fmt.Errorf("model: const var %s domain %d at process %d exceeds int32", vs.Name, d, p)
+			}
+			s.constDomains[p*s.lc+v] = int32(d)
+			s.constBits[p*s.lc+v] = uint8(BitsFor(d))
 		}
 		if len(spec.Const) > 0 {
 			if len(consts[p]) != len(spec.Const) {
 				return nil, fmt.Errorf("model: process %d has %d constants, want %d", p, len(consts[p]), len(spec.Const))
 			}
-			row := make([]int, len(spec.Const))
 			for v, val := range consts[p] {
-				if val < 0 || val >= s.constDomains[p][v] {
+				if val < 0 || val >= int(s.constDomains[p*s.lc+v]) {
 					return nil, fmt.Errorf("model: process %d constant %s=%d outside domain [0,%d)",
-						p, spec.Const[v].Name, val, s.constDomains[p][v])
+						p, spec.Const[v].Name, val, s.constDomains[p*s.lc+v])
 				}
-				row[v] = val
+				s.consts[p*s.lc+v] = int32(val)
 			}
-			s.consts[p] = row
 		}
 	}
-	s.commBits = make([][]int, g.N())
-	s.constBits = make([][]int, g.N())
-	for p := 0; p < g.N(); p++ {
-		s.commBits[p] = bitsRow(s.commDomains[p])
-		s.constBits[p] = bitsRow(s.constDomains[p])
-	}
 	return s, nil
-}
-
-func domainsFor(vars []VarSpec, info DomainInfo) []int {
-	out := make([]int, len(vars))
-	for i, v := range vars {
-		out[i] = v.Domain(info)
-	}
-	return out
 }
 
 // Graph returns the network.
@@ -130,17 +140,30 @@ func (s *System) Delta() int { return s.delta }
 
 // Const returns the value of constant v at process p.
 func (s *System) Const(p, v int) int {
-	return s.consts[p][v]
+	return int(s.consts[p*s.lc+v])
 }
 
 // CommDomain returns the domain size of communication variable v at p.
-func (s *System) CommDomain(p, v int) int { return s.commDomains[p][v] }
+func (s *System) CommDomain(p, v int) int { return int(s.commDomains[p*s.wc+v]) }
 
 // InternalDomain returns the domain size of internal variable v at p.
-func (s *System) InternalDomain(p, v int) int { return s.internalDomains[p][v] }
+func (s *System) InternalDomain(p, v int) int { return int(s.internalDomains[p*s.wi+v]) }
 
 // ConstDomain returns the domain size of constant v at p.
-func (s *System) ConstDomain(p, v int) int { return s.constDomains[p][v] }
+func (s *System) ConstDomain(p, v int) int { return int(s.constDomains[p*s.lc+v]) }
+
+// commDomainRow and internalDomainRow return process p's stretch of the
+// flat domain tables, for call sites that walk a whole row.
+func (s *System) commDomainRow(p int) []int32 { return s.commDomains[p*s.wc : (p+1)*s.wc] }
+
+func (s *System) internalDomainRow(p int) []int32 { return s.internalDomains[p*s.wi : (p+1)*s.wi] }
+
+// commBit returns the precomputed BitsFor(CommDomain(q, v)) — the
+// per-read bit count charged by the instrumentation path.
+func (s *System) commBit(q, v int) int { return int(s.commBits[q*s.wc+v]) }
+
+// constBit is commBit for communication constants.
+func (s *System) constBit(q, v int) int { return int(s.constBits[q*s.lc+v]) }
 
 // CommWidth returns the number of communication variables per process
 // (the row width of the flat configuration layout).
@@ -219,11 +242,12 @@ func NewRandomConfig(s *System, r *rng.Rand) *Config {
 // both paths produce identical configurations from identical streams.
 func RandomizeConfig(s *System, cfg *Config, r *rng.Rand) {
 	for p := 0; p < s.N(); p++ {
+		cd, id := s.commDomainRow(p), s.internalDomainRow(p)
 		for v := range cfg.Comm[p] {
-			cfg.Comm[p][v] = r.Intn(s.commDomains[p][v])
+			cfg.Comm[p][v] = r.Intn(int(cd[v]))
 		}
 		for v := range cfg.Internal[p] {
-			cfg.Internal[p][v] = r.Intn(s.internalDomains[p][v])
+			cfg.Internal[p][v] = r.Intn(int(id[v]))
 		}
 	}
 }
@@ -337,15 +361,15 @@ func (c *Config) Validate(s *System) error {
 			return fmt.Errorf("model: config row %d has wrong arity", p)
 		}
 		for v, val := range c.Comm[p] {
-			if val < 0 || val >= s.commDomains[p][v] {
+			if val < 0 || val >= s.CommDomain(p, v) {
 				return fmt.Errorf("model: process %d comm %s=%d outside [0,%d)",
-					p, s.spec.Comm[v].Name, val, s.commDomains[p][v])
+					p, s.spec.Comm[v].Name, val, s.CommDomain(p, v))
 			}
 		}
 		for v, val := range c.Internal[p] {
-			if val < 0 || val >= s.internalDomains[p][v] {
+			if val < 0 || val >= s.InternalDomain(p, v) {
 				return fmt.Errorf("model: process %d internal %s=%d outside [0,%d)",
-					p, s.spec.Internal[v].Name, val, s.internalDomains[p][v])
+					p, s.spec.Internal[v].Name, val, s.InternalDomain(p, v))
 			}
 		}
 	}

@@ -25,18 +25,10 @@ import "fmt"
 func (s *System) MutableCopy() *System {
 	c := *s
 	c.g = s.g.MutableCopy()
-	c.commDomains = copyRows(s.commDomains)
-	c.internalDomains = copyRows(s.internalDomains)
-	c.commBits = copyRows(s.commBits)
+	c.commDomains = append([]int32(nil), s.commDomains...)
+	c.internalDomains = append([]int32(nil), s.internalDomains...)
+	c.commBits = append([]uint8(nil), s.commBits...)
 	return &c
-}
-
-func copyRows(rows [][]int) [][]int {
-	out := make([][]int, len(rows))
-	for i, row := range rows {
-		out[i] = append([]int(nil), row...)
-	}
-	return out
 }
 
 // Dynamic reports whether the system was produced by MutableCopy and
@@ -53,12 +45,16 @@ func (s *System) refreshDomains(p int) {
 		deg = 1
 	}
 	info := DomainInfo{N: s.g.N(), Delta: s.delta, Degree: deg}
-	for v := range s.commDomains[p] {
-		s.commDomains[p][v] = s.spec.Comm[v].Domain(info)
-		s.commBits[p][v] = BitsFor(s.commDomains[p][v])
+	cd := s.commDomainRow(p)
+	cb := s.commBits[p*s.wc : (p+1)*s.wc]
+	for v := range cd {
+		d := s.spec.Comm[v].Domain(info)
+		cd[v] = int32(d)
+		cb[v] = uint8(BitsFor(d))
 	}
-	for v := range s.internalDomains[p] {
-		s.internalDomains[p][v] = s.spec.Internal[v].Domain(info)
+	id := s.internalDomainRow(p)
+	for v := range id {
+		id[v] = int32(s.spec.Internal[v].Domain(info))
 	}
 }
 
@@ -149,8 +145,8 @@ func (s *Simulator) ApplyTopology(ev TopologyEvent, dst []int) []int {
 	}
 	for _, p := range dst[start:] {
 		s.sys.refreshDomains(p)
-		clampRow(s.cfg.Comm[p], s.sys.commDomains[p])
-		clampRow(s.cfg.Internal[p], s.sys.internalDomains[p])
+		clampRow(s.cfg.Comm[p], s.sys.commDomainRow(p))
+		clampRow(s.cfg.Internal[p], s.sys.internalDomainRow(p))
 		if p < len(s.probe.encOK) {
 			// Domain products changed: the 64-bit encodability verdict
 			// (and its radices) must be recomputed.
@@ -170,9 +166,9 @@ func zero(row []int) {
 // clampRow folds values into their (refreshed) domains. Reduction
 // modulo the new domain is deterministic and keeps in-domain values
 // untouched.
-func clampRow(row, doms []int) {
+func clampRow(row []int, doms []int32) {
 	for v, val := range row {
-		if d := doms[v]; val >= d {
+		if d := int(doms[v]); val >= d {
 			row[v] = val % d
 		}
 	}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// legacyLaziestFair is a test-local copy of the historical LaziestFair
+// selection: a two-pass O(n) scan over a last-selected vector. The live
+// implementation replaced it with a warmup bucket plus FIFO ring; this
+// reference pins the selection semantics the rewrite must preserve.
+type legacyLaziestFair struct {
+	last []int
+}
+
+func (s *legacyLaziestFair) pick(step int, sys *model.System, enabled func(p int) bool) int {
+	n := sys.N()
+	for len(s.last) < n {
+		s.last = append(s.last, -1)
+	}
+	minLast := s.last[0]
+	for p := 1; p < n; p++ {
+		if s.last[p] < minLast {
+			minLast = s.last[p]
+		}
+	}
+	chosen, chosenDisabled, chosenDeg := -1, false, 0
+	for p := 0; p < n; p++ {
+		if s.last[p] != minLast {
+			continue
+		}
+		disabled := !enabled(p)
+		deg := sys.Graph().Degree(p)
+		if chosen < 0 ||
+			(disabled != chosenDisabled && disabled) ||
+			(disabled == chosenDisabled && deg < chosenDeg) {
+			chosen, chosenDisabled, chosenDeg = p, disabled, deg
+		}
+	}
+	s.last[chosen] = step
+	return chosen
+}
+
+// TestLaziestFairMatchesReferenceScan drives the ring-based daemon and
+// the historical two-pass scan over the same live computations (several
+// random systems, several seeds, well past the n-step warmup where the
+// tie-break engages) and requires identical selection sequences.
+func TestLaziestFairMatchesReferenceScan(t *testing.T) {
+	t.Parallel()
+	for si, sys := range propertySystems(t) {
+		for seed := uint64(1); seed <= 3; seed++ {
+			sc := NewLaziestFair()
+			ref := &legacyLaziestFair{}
+			cfg := model.NewRandomConfig(sys, rng.New(seed))
+			steps := 4*sys.N() + 40
+			for step := 0; step < steps; step++ {
+				sel := sc.Select(step, sys, cfg)
+				want := ref.pick(step, sys, func(p int) bool { return model.Enabled(sys, cfg, p) })
+				if len(sel) != 1 || sel[0] != want {
+					t.Fatalf("system %d seed %d step %d: ring picks %v, reference picks %d",
+						si, seed, step, sel, want)
+				}
+				stepAll(sys, cfg, sel, step, seed)
+			}
+		}
+	}
+}
+
+// TestLaziestFairMatchesReferenceOnFixpoint covers the all-disabled
+// warmup ties (every process permanently tied at "never selected" until
+// chosen) where the disabled/degree/id tie-break does the selecting.
+func TestLaziestFairMatchesReferenceOnFixpoint(t *testing.T) {
+	t.Parallel()
+	r := rng.New(11)
+	g := graph.RandomConnectedGNP(17, 0.3, r)
+	sys, err := model.NewSystem(g, &model.Spec{
+		Name: "T",
+		Comm: []model.VarSpec{{Name: "X", Domain: model.FixedDomain(4)}},
+		Actions: []model.Action{{
+			Name:  "copy",
+			Guard: func(c *model.Ctx) bool { return c.Comm(0) != c.NeighborComm(1, 0) },
+			Apply: func(c *model.Ctx) { c.SetComm(0, c.NeighborComm(1, 0)) },
+		}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := model.NewZeroConfig(sys) // a fixpoint: everyone stays disabled
+	sc := NewLaziestFair()
+	ref := &legacyLaziestFair{}
+	for step := 0; step < 3*sys.N()+10; step++ {
+		sel := sc.Select(step, sys, cfg)
+		want := ref.pick(step, sys, func(p int) bool { return model.Enabled(sys, cfg, p) })
+		if len(sel) != 1 || sel[0] != want {
+			t.Fatalf("step %d: ring picks %v, reference picks %d", step, sel, want)
+		}
+	}
+}

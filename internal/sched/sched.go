@@ -219,17 +219,27 @@ func (s *EnabledBiased) fromEnabled(sys *model.System) []int {
 // LaziestFair is an adversarial-but-fair central daemon: at each step it
 // selects the single process that has gone longest without selection,
 // breaking ties toward *disabled* processes (wasting the activation) and
-// then toward lower degree. Every process is selected at least once every
-// n steps, so the daemon is fair, while being maximally unhelpful to
-// protocols that need their enabled processes scheduled.
+// then toward lower degree, then lower id. Every process is selected at
+// least once every n steps, so the daemon is fair, while being maximally
+// unhelpful to protocols that need their enabled processes scheduled.
 //
-// Selection is a two-pass O(n) scan over a flat last-selected slice: the
-// first pass finds the stalest selection step, the second breaks ties —
-// so the (comparatively expensive) enabledness probe runs only for the
-// handful of tied candidates, not for every process.
+// The daemon selects exactly one process per step, so after every process
+// has been selected once the last-selection steps are pairwise distinct
+// and the "stalest" bucket always holds exactly one process: selection
+// degenerates to strict FIFO in order of previous selection. The
+// implementation exploits that shape instead of rescanning a last-step
+// vector: a warmup bucket of never-selected ids (where the paper's
+// disabled/degree tie-break actually engages) feeds a FIFO ring that
+// serves every subsequent pick in O(1). Selections are identical to the
+// historical two-pass O(n) scan — TestLaziestFairMatchesReferenceScan
+// replays both against the same enabledness streams.
 type LaziestFair struct {
-	last []int // last[p] = step at which p was last selected (-1: never)
-	sel  [1]int
+	n     int   // process count the buckets are built for
+	never []int // never-selected ids (warmup bucket, scanned with tie-break)
+	ring  []int // FIFO ring of selected ids, stalest first; cap == n
+	head  int   // ring index of the stalest selected id
+	size  int   // live entries in ring
+	sel   [1]int
 }
 
 // NewLaziestFair returns a LaziestFair daemon.
@@ -239,49 +249,111 @@ func NewLaziestFair() *LaziestFair {
 
 // Reset implements Resettable: the selection history is forgotten (every
 // process reads as never selected), as in a fresh instance.
-func (s *LaziestFair) Reset(uint64) { s.last = s.last[:0] }
+func (s *LaziestFair) Reset(uint64) {
+	s.n = 0
+	s.never = s.never[:0]
+	s.head, s.size = 0, 0
+}
 
 // Name implements model.Scheduler.
 func (*LaziestFair) Name() string { return "laziest-fair" }
 
 // Select implements model.Scheduler.
 func (s *LaziestFair) Select(step int, sys *model.System, cfg *model.Config) []int {
-	return s.pick(step, sys, func(p int) bool { return model.Enabled(sys, cfg, p) })
+	return s.pick(sys, func(p int) bool { return model.Enabled(sys, cfg, p) })
 }
 
 // SelectTracked implements model.TrackedScheduler: identical selections,
 // with enabledness answered by the simulator's incremental tracker.
 func (s *LaziestFair) SelectTracked(step int, sys *model.System, _ *model.Config, en model.EnabledView) []int {
-	return s.pick(step, sys, en.Enabled)
+	return s.pick(sys, en.Enabled)
 }
 
-func (s *LaziestFair) pick(step int, sys *model.System, enabled func(p int) bool) []int {
-	n := sys.N()
-	for len(s.last) < n { // grow, keeping history (ids are stable)
-		s.last = append(s.last, -1)
+func (s *LaziestFair) pick(sys *model.System, enabled func(p int) bool) []int {
+	if n := sys.N(); n != s.n {
+		s.grow(n)
 	}
-	minLast := s.last[0]
-	for p := 1; p < n; p++ {
-		if s.last[p] < minLast {
-			minLast = s.last[p]
+	var chosen int
+	if len(s.never) > 0 {
+		// Warmup: every never-selected id shares the stalest "step" (-1),
+		// so the tie-break picks among all of them. The scan is explicit
+		// about the id tie (the historical ascending scan kept the lowest
+		// id implicitly) because swap-removal perturbs bucket order.
+		best, bestDisabled, bestDeg, bestIdx := -1, false, 0, -1
+		for i, p := range s.never {
+			disabled := !enabled(p)
+			deg := sys.Graph().Degree(p)
+			if best < 0 ||
+				(disabled != bestDisabled && disabled) ||
+				(disabled == bestDisabled && (deg < bestDeg || (deg == bestDeg && p < best))) {
+				best, bestDisabled, bestDeg, bestIdx = p, disabled, deg, i
+			}
 		}
+		chosen = best
+		s.never[bestIdx] = s.never[len(s.never)-1]
+		s.never = s.never[:len(s.never)-1]
+	} else {
+		// Steady state: one selection per step keeps last-selection steps
+		// pairwise distinct, so the stalest bucket is the ring head alone
+		// and the tie-break (including its enabledness probe) never runs.
+		chosen = s.ring[s.head]
+		s.head++
+		if s.head == len(s.ring) {
+			s.head = 0
+		}
+		s.size--
 	}
-	chosen, chosenDisabled, chosenDeg := -1, false, 0
-	for p := 0; p < n; p++ {
-		if s.last[p] != minLast {
-			continue
-		}
-		disabled := !enabled(p)
-		deg := sys.Graph().Degree(p)
-		if chosen < 0 ||
-			(disabled != chosenDisabled && disabled) ||
-			(disabled == chosenDisabled && deg < chosenDeg) {
-			chosen, chosenDisabled, chosenDeg = p, disabled, deg
-		}
+	tail := s.head + s.size
+	if tail >= len(s.ring) {
+		tail -= len(s.ring)
 	}
-	s.last[chosen] = step
+	s.ring[tail] = chosen
+	s.size++
 	s.sel[0] = chosen
 	return s.sel[:]
+}
+
+// grow rebuilds the buckets for n processes, keeping history: ids the
+// daemon has already selected stay in the ring in selection order, new
+// ids join the never bucket (they read as never selected, exactly as the
+// historical last-step vector grew with -1 entries). Ids beyond a shrunk
+// n are dropped from both buckets. The common path — Reset followed by a
+// first pick — has an empty ring and reuses the buffer in place.
+func (s *LaziestFair) grow(n int) {
+	for p := s.n; p < n; p++ {
+		s.never = append(s.never, p)
+	}
+	if s.size == 0 {
+		if cap(s.ring) >= n {
+			s.ring = s.ring[:n]
+		} else {
+			s.ring = make([]int, n)
+		}
+	} else {
+		ring := make([]int, n)
+		size := 0
+		for i := 0; i < s.size; i++ {
+			j := s.head + i
+			if j >= s.n {
+				j -= s.n
+			}
+			if p := s.ring[j]; p < n {
+				ring[size] = p
+				size++
+			}
+		}
+		s.ring, s.size = ring, size
+	}
+	if n < s.n {
+		kept := s.never[:0]
+		for _, p := range s.never {
+			if p < n {
+				kept = append(kept, p)
+			}
+		}
+		s.never = kept
+	}
+	s.head, s.n = 0, n
 }
 
 // ByName constructs a scheduler from its CLI name.

@@ -31,6 +31,19 @@ type readKey struct {
 // count, never in n.
 const maxStampN = 128
 
+// sparseThreshold bounds the systems whose read sets are kept as dense
+// n-bit bitsets. A process only ever reads its neighbors, so every read
+// set R_p has at most degree(p) members — yet the dense representation
+// charges n bits per process, O(n²) bytes per recorder, which is the
+// memory wall at large n (three sets × 10⁶ processes ≈ 375 GB). Above
+// the threshold the recorder switches to per-process member lists with
+// linear dedup: O(Σ degree) memory total and O(degree) per insertion,
+// which is what makes million-process recordings fit in RAM. Both
+// representations produce byte-identical reports
+// (TestSparseRecorderMatchesDense); it is a var only so tests can force
+// the sparse path at small n.
+var sparseThreshold = 4096
+
 // Recorder accumulates read/step/move statistics for one execution. Read
 // sets are bitsets and per-step scratch is reused, so the observer
 // allocates nothing on the steady-state path. A Recorder is reusable:
@@ -38,12 +51,15 @@ const maxStampN = 128
 // reallocating, which is what lets the trial pipeline run millions of
 // executions through one recorder per worker.
 type Recorder struct {
-	n int
+	n      int
+	sparse bool // n > sparseThreshold: list-backed read sets
 
 	// Scratch for the step in progress, reused across steps. touched
 	// lists the processes with reads this step; their scratch rows are
-	// reset in StepEnd.
+	// reset in StepEnd. curReads is the dense representation; curList the
+	// sparse one (exactly one is live, per the sparse flag).
 	curReads     []*bitset.Set // per process: distinct neighbors read this step
+	curList      [][]int32
 	curReadCount []int
 	curBitSum    []int
 	touched      []int
@@ -66,6 +82,8 @@ type Recorder struct {
 
 	everRead   []*bitset.Set // R_p over the whole computation
 	suffixRead []*bitset.Set // R_p since the last MarkSuffix
+	everList   [][]int32     // sparse forms of the two sets above
+	suffixList [][]int32
 
 	totalBits          int64
 	totalReads         int64 // distinct (process, neighbor) reads summed over steps
@@ -95,22 +113,35 @@ func NewRecorder(n int) *Recorder {
 // reusing every allocation when n is unchanged. Statistics, read sets and
 // the suffix mark are all cleared.
 func (r *Recorder) Reset(n int) {
-	if n != r.n {
-		r.n = n
-		r.curReads = make([]*bitset.Set, n)
+	sparse := n > sparseThreshold
+	if n != r.n || sparse != r.sparse {
+		r.n, r.sparse = n, sparse
 		r.curReadCount = make([]int, n)
 		r.curBitSum = make([]int, n)
 		r.maxStepReads = make([]int, n)
 		r.maxStepBits = make([]int, n)
-		r.everRead = make([]*bitset.Set, n)
-		r.suffixRead = make([]*bitset.Set, n)
 		r.procStamp = make([]uint64, n)
-		for p := 0; p < n; p++ {
-			r.curReads[p] = bitset.New(n)
-			r.everRead[p] = bitset.New(n)
-			r.suffixRead[p] = bitset.New(n)
+		if sparse {
+			r.curReads, r.everRead, r.suffixRead = nil, nil, nil
+			r.curList = make([][]int32, n)
+			r.everList = make([][]int32, n)
+			r.suffixList = make([][]int32, n)
+		} else {
+			r.curList, r.everList, r.suffixList = nil, nil, nil
+			r.curReads = make([]*bitset.Set, n)
+			r.everRead = make([]*bitset.Set, n)
+			r.suffixRead = make([]*bitset.Set, n)
+			for p := 0; p < n; p++ {
+				r.curReads[p] = bitset.New(n)
+				r.everRead[p] = bitset.New(n)
+				r.suffixRead[p] = bitset.New(n)
+			}
 		}
-		if n <= maxStampN {
+		// The stamped (q,kind,v) dedup table is itself O(n²) memory, so
+		// sparse recorders always take the linear key fallback (in real
+		// use sparse implies n > maxStampN anyway; the explicit condition
+		// keeps threshold-lowering tests honest).
+		if n <= maxStampN && !sparse {
 			r.stampW = 1
 			r.readStamp = make([]uint64, n*n*3*r.stampW)
 			r.curKeys = nil
@@ -121,9 +152,15 @@ func (r *Recorder) Reset(n int) {
 		}
 	} else {
 		for p := 0; p < n; p++ {
-			r.curReads[p].Clear()
-			r.everRead[p].Clear()
-			r.suffixRead[p].Clear()
+			if sparse {
+				r.curList[p] = r.curList[p][:0]
+				r.everList[p] = r.everList[p][:0]
+				r.suffixList[p] = r.suffixList[p][:0]
+			} else {
+				r.curReads[p].Clear()
+				r.everRead[p].Clear()
+				r.suffixRead[p].Clear()
+			}
 			r.curReadCount[p] = 0
 			r.curBitSum[p] = 0
 			r.maxStepReads[p] = 0
@@ -151,6 +188,18 @@ var _ model.Observer = (*Recorder)(nil)
 var _ model.BatchReadObserver = (*Recorder)(nil)
 var _ model.ReplayObserver = (*Recorder)(nil)
 
+// addMember inserts q into a sparse read-set list if absent, reporting
+// whether it was added. Read sets only ever hold neighbors of one
+// process, so the linear dedup scan is O(degree), never O(n).
+func addMember(list []int32, q int32) ([]int32, bool) {
+	for _, m := range list {
+		if m == q {
+			return list, false
+		}
+	}
+	return append(list, q), true
+}
+
 // ReplaySelection implements model.ReplayObserver: the simulator's
 // silent-phase replay hands over one selection's precomputed aggregate
 // instead of the raw Read/ActionFired stream. The fold below is exactly
@@ -177,6 +226,15 @@ func (r *Recorder) ReplaySelection(p int, neighbors []int, reads, bits, fired in
 	}
 	r.totalBits += int64(bits)
 	r.suffixBits += int64(bits)
+	if r.sparse {
+		ever, suffix := r.everList[p], r.suffixList[p]
+		for _, q := range neighbors {
+			ever, _ = addMember(ever, int32(q))
+			suffix, _ = addMember(suffix, int32(q))
+		}
+		r.everList[p], r.suffixList[p] = ever, suffix
+		return
+	}
 	ever, suffix := r.everRead[p], r.suffixRead[p]
 	for _, q := range neighbors {
 		ever.Add(q)
@@ -199,7 +257,12 @@ func (r *Recorder) Read(_, p, q int, kind model.VarKind, v, bits int) {
 		r.procStamp[p] = r.epoch
 		r.touched = append(r.touched, p)
 	}
-	if r.curReads[p].Add(q) {
+	if r.sparse {
+		var added bool
+		if r.curList[p], added = addMember(r.curList[p], int32(q)); added {
+			r.curReadCount[p]++
+		}
+	} else if r.curReads[p].Add(q) {
 		r.curReadCount[p]++
 	}
 	if r.readStamp != nil {
@@ -232,9 +295,35 @@ func (r *Recorder) ReadBatch(_, p int, reads []model.ReadRec) {
 		r.procStamp[p] = r.epoch
 		r.touched = append(r.touched, p)
 	}
-	cur := r.curReads[p]
 	count := r.curReadCount[p]
 	bitSum := r.curBitSum[p]
+	if r.sparse {
+		list := r.curList[p]
+		for i := range reads {
+			rec := &reads[i]
+			var added bool
+			if list, added = addMember(list, int32(rec.Q)); added {
+				count++
+			}
+			k := readKey{q: rec.Q, kind: rec.Kind, v: rec.V}
+			dup := false
+			for _, seen := range r.curKeys[p] {
+				if seen == k {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				r.curKeys[p] = append(r.curKeys[p], k)
+				bitSum += rec.Bits
+			}
+		}
+		r.curList[p] = list
+		r.curReadCount[p] = count
+		r.curBitSum[p] = bitSum
+		return
+	}
+	cur := r.curReads[p]
 	if r.readStamp != nil {
 		for i := range reads {
 			rec := &reads[i]
@@ -311,8 +400,19 @@ func (r *Recorder) StepEnd(_ int, _ []int, roundCompleted bool) {
 		}
 		r.totalReads += int64(reads)
 		r.suffixReads += int64(reads)
-		r.curReads[p].UnionInto(r.everRead[p])
-		r.curReads[p].UnionInto(r.suffixRead[p])
+		if r.sparse {
+			ever, suffix := r.everList[p], r.suffixList[p]
+			for _, q := range r.curList[p] {
+				ever, _ = addMember(ever, q)
+				suffix, _ = addMember(suffix, q)
+			}
+			r.everList[p], r.suffixList[p] = ever, suffix
+			r.curList[p] = r.curList[p][:0]
+		} else {
+			r.curReads[p].UnionInto(r.everRead[p])
+			r.curReads[p].UnionInto(r.suffixRead[p])
+			r.curReads[p].Clear()
+		}
 
 		bits := r.curBitSum[p]
 		if bits > r.maxStepBits[p] {
@@ -321,7 +421,6 @@ func (r *Recorder) StepEnd(_ int, _ []int, roundCompleted bool) {
 		r.totalBits += int64(bits)
 		r.suffixBits += int64(bits)
 
-		r.curReads[p].Clear()
 		r.curReadCount[p] = 0
 		if r.curKeys != nil {
 			r.curKeys[p] = r.curKeys[p][:0]
@@ -342,7 +441,11 @@ func (r *Recorder) StepEnd(_ int, _ []int, roundCompleted bool) {
 // cleared. Call it at the silence point to measure ♦-(x,k)-stability.
 func (r *Recorder) MarkSuffix() {
 	for p := 0; p < r.n; p++ {
-		r.suffixRead[p].Clear()
+		if r.sparse {
+			r.suffixList[p] = r.suffixList[p][:0]
+		} else {
+			r.suffixRead[p].Clear()
+		}
 	}
 	r.suffixSteps = 0
 	r.suffixRounds = 0
@@ -431,8 +534,13 @@ func (r *Recorder) ReportInto(rep *Report) {
 		if r.maxStepBits[p] > rep.CommComplexityBits {
 			rep.CommComplexityBits = r.maxStepBits[p]
 		}
-		rep.ReadSetSizes[p] = r.everRead[p].Count()
-		rep.SuffixReadSetSizes[p] = r.suffixRead[p].Count()
+		if r.sparse {
+			rep.ReadSetSizes[p] = len(r.everList[p])
+			rep.SuffixReadSetSizes[p] = len(r.suffixList[p])
+		} else {
+			rep.ReadSetSizes[p] = r.everRead[p].Count()
+			rep.SuffixReadSetSizes[p] = r.suffixRead[p].Count()
+		}
 	}
 }
 

@@ -163,7 +163,7 @@ func TestRunValidation(t *testing.T) {
 func TestExperimentFacade(t *testing.T) {
 	t.Parallel()
 	ids := ExperimentIDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("%d experiment ids", len(ids))
 	}
 	res, err := RunExperiment("E9", ExperimentConfig{Seed: 9, Quick: true, Trials: 1})
