@@ -9,7 +9,8 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 .PHONY: build test test-race test-full bench bench-json bench-diff bench-diff-committed \
-	scale-smoke fuzz-smoke campaign-smoke events-smoke batch-smoke lint fmt vet check help
+	scale-smoke fuzz-smoke campaign-smoke events-smoke batch-smoke service-smoke \
+	lint fmt vet check help
 
 help: ## List targets with their one-line descriptions
 	@awk -F':.*## ' '/^[a-zA-Z_-]+:.*## / {printf "  %-22s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
@@ -179,6 +180,17 @@ batch-smoke: ## Batched vs unbatched byte-identity end to end
 	$(GO) test ./internal/campaign -run 'TestDeterminismAcrossBatchWidths' -count=1
 	$(GO) test ./internal/core -run 'TestBatchRunner|TestBatchedTrialLoopZeroAlloc' -count=1
 	@echo "batch smoke OK: JSONL, events and tables byte-identical between -batch 1 and auto"
+
+# Service smoke: the campaign daemon end to end over real TCP — start
+# sscampaignd with a directory cache, POST the quickstart campaign in
+# streaming form, download the served JSONL and canonical event log and
+# byte-compare both against a CLI sscampaign run, then re-POST (100%
+# cache hits, identical bytes) and SIGTERM-drain. The scripted flow
+# lives in scripts/service_smoke.sh; internal/service's tests prove the
+# same contract in-process with adversarial steal schedules.
+SERVICE_SMOKE_DIR ?= /tmp/service-smoke
+service-smoke: ## Campaign daemon end to end: serve = CLI bytes, warm re-POST, clean drain
+	bash scripts/service_smoke.sh $(SERVICE_SMOKE_DIR)
 
 fmt: ## Fail if any file needs gofmt
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

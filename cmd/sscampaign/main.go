@@ -14,6 +14,7 @@
 //	sscampaign -print file.campaign          # canonical spec, no execution
 //	sscampaign -events run.events file.campaign   # canonical event log ("-": stdout)
 //	sscampaign -log-level debug file.campaign     # slog JSON events on stderr
+//	sscampaign -cache .campaign-cache -cache-stats   # entry count + bytes, no run
 //
 // Determinism: for a fixed campaign file the output bytes are identical
 // across -parallelism values and across cache states, and concatenating
@@ -57,12 +58,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		printSpec   = fs.Bool("print", false, "parse, print the canonical campaign spec and exit without running")
 		eventsPath  = fs.String("events", "", "write the canonical deterministic event log to this path (\"-\": stdout, suppresses the table)")
 		logLevel    = fs.String("log-level", "off", "live slog JSON events on stderr: off, info (cell granularity) or debug (every trial)")
+		cacheStats  = fs.Bool("cache-stats", false, "print the -cache directory's entry count and total bytes, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *cacheStats {
+		if *cacheDir == "" {
+			return fmt.Errorf("-cache-stats needs -cache DIR to inspect")
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-cache-stats takes no campaign file")
+		}
+		entries, size, err := campaign.CacheEntries(*cacheDir)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(stdout, "cache %s: %d entries, %d bytes\n", *cacheDir, entries, size)
+		return err
+	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one campaign file argument (got %d)", fs.NArg())
+	}
+	// Fail an unwritable cache directory now, before any trial burns —
+	// not per-cell at store time.
+	if *cacheDir != "" {
+		if err := campaign.NewDirBackend(*cacheDir).Probe(); err != nil {
+			return err
+		}
 	}
 	if *csvOut && *jsonlPath == "-" {
 		return fmt.Errorf("-csv and -jsonl - both claim stdout: write the JSONL to a file instead")

@@ -105,6 +105,61 @@ func TestRunCacheAndShard(t *testing.T) {
 	}
 }
 
+// TestRunCacheStats: -cache-stats reports the entry count and total
+// bytes of a cache directory without running anything.
+func TestRunCacheStats(t *testing.T) {
+	path := writeCampaign(t, testSrc)
+	cache := filepath.Join(t.TempDir(), "cache")
+	var out, errOut strings.Builder
+
+	// An empty (not yet created) cache reads as zero entries.
+	if err := run([]string{"-cache", cache, "-cache-stats"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 entries, 0 bytes") {
+		t.Fatalf("empty cache stats wrong:\n%s", out.String())
+	}
+
+	if err := run([]string{"-cache", cache, path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-cache", cache, "-cache-stats"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 entries") || strings.Contains(out.String(), " 0 bytes") {
+		t.Fatalf("populated cache stats wrong:\n%s", out.String())
+	}
+
+	// Guard rails: -cache-stats without -cache, or with a file argument.
+	if err := run([]string{"-cache-stats"}, &out, &errOut); err == nil {
+		t.Fatal("-cache-stats without -cache accepted")
+	}
+	if err := run([]string{"-cache", cache, "-cache-stats", path}, &out, &errOut); err == nil {
+		t.Fatal("-cache-stats with a campaign file accepted")
+	}
+}
+
+// TestRunUnwritableCache: an unusable -cache directory fails the run up
+// front, before any trials execute.
+func TestRunUnwritableCache(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("no unwritable directories for root")
+	}
+	ro := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	err := run([]string{"-cache", filepath.Join(ro, "cache"), writeCampaign(t, testSrc)}, &out, &errOut)
+	if err == nil {
+		t.Fatal("unwritable -cache dir accepted")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("failed run still produced output:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errOut strings.Builder
 	if err := run([]string{}, &out, &errOut); err == nil {

@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Backend is the pluggable storage layer of the content-addressed
+// result cache. Entries are opaque byte payloads addressed by their
+// cell-fingerprint hash; the campaign layer owns encoding, fingerprint
+// verification and staleness rules, so a backend only moves bytes.
+//
+// Implementations must be safe for concurrent use: the campaign service
+// runs many workers — and many concurrent runs — against one shared
+// backend, and separate processes may share an on-disk backend. Store
+// must be atomic (a reader never observes a torn entry); concurrent
+// stores of the same hash may race, which is harmless because an
+// entry's bytes are a deterministic function of its hash.
+type Backend interface {
+	// Load returns the entry's bytes, or (nil, nil) when the entry does
+	// not exist. A non-nil error means the entry exists but could not be
+	// read — callers degrade it to a miss and surface a diagnostic.
+	Load(hash string) ([]byte, error)
+	// Store persists the entry atomically.
+	Store(hash string, data []byte) error
+	// Stats reports the entry count and the total payload bytes held.
+	Stats() (entries int, bytes int64, err error)
+}
+
+// DirBackend is the local-directory backend: one file per entry,
+// written temp-then-rename so crashed or concurrent writers never leave
+// a torn entry for others to read. It is the storage the `-cache` CLI
+// flag and the daemon's `-cache` flag select.
+type DirBackend struct{ Dir string }
+
+// NewDirBackend returns a backend rooted at dir. The directory is
+// created lazily on the first Store; use Probe to fail fast instead.
+func NewDirBackend(dir string) *DirBackend { return &DirBackend{Dir: dir} }
+
+func (b *DirBackend) path(hash string) string { return filepath.Join(b.Dir, hash+".json") }
+
+// Probe verifies the directory is usable for writes — creating it if
+// missing — by writing and removing a temp file. CLIs call it up front
+// so an unwritable cache directory fails the run immediately instead of
+// per-cell, after trials have already burned.
+func (b *DirBackend) Probe() error {
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: cache dir %s: %w", b.Dir, err)
+	}
+	tmp, err := os.CreateTemp(b.Dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache dir %s not writable: %w", b.Dir, err)
+	}
+	tmp.Close()
+	return os.Remove(tmp.Name())
+}
+
+// Load implements Backend. A missing entry is (nil, nil); any other
+// read failure (permissions, I/O) is an error the caller reports.
+func (b *DirBackend) Load(hash string) ([]byte, error) {
+	data, err := os.ReadFile(b.path(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// Store implements Backend with a temp-file-then-rename write.
+func (b *DirBackend) Store(hash string, data []byte) error {
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(b.Dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), b.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	return nil
+}
+
+// Stats implements Backend: the number of entry files and their total
+// size. A missing directory is an empty cache, not an error.
+func (b *DirBackend) Stats() (int, int64, error) {
+	entries, err := os.ReadDir(b.Dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	n, total := 0, int64(0)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return 0, 0, err
+		}
+		n++
+		total += info.Size()
+	}
+	return n, total, nil
+}
+
+// MemBackend is the in-process backend: a mutex-guarded map. It backs
+// tests and the daemon's default (no `-cache` flag) configuration,
+// where dedup across runs matters but nothing must survive a restart.
+type MemBackend struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{m: make(map[string][]byte)} }
+
+// Load implements Backend. The returned slice is the stored one —
+// callers only decode it; use Store to replace an entry.
+func (b *MemBackend) Load(hash string) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.m[hash], nil
+}
+
+// Store implements Backend. The payload is copied: entries never alias
+// a caller's buffer.
+func (b *MemBackend) Store(hash string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[hash] = cp
+	return nil
+}
+
+// Stats implements Backend.
+func (b *MemBackend) Stats() (int, int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	total := int64(0)
+	for _, data := range b.m {
+		total += int64(len(data))
+	}
+	return len(b.m), total, nil
+}

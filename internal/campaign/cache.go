@@ -4,11 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -67,74 +63,48 @@ type cacheEntry struct {
 	Records     []TrialRecord `json:"records"`
 }
 
-func cachePath(dir, hash string) string { return filepath.Join(dir, hash+".json") }
-
 // loadCache returns the cached records for a fingerprint, or nil when
-// the entry is absent, unreadable, or stale (wrong fingerprint or
-// record count). Fixed-budget cells load exactly minRecs == maxRecs
-// records; adaptive cells accept any count within the stop rule's
-// Min..Max bounds — the realized count is itself part of the cached
-// result and round-trips as len(Records).
-func loadCache(dir, fingerprint string, minRecs, maxRecs int) []TrialRecord {
-	data, err := os.ReadFile(cachePath(dir, cellHash(fingerprint)))
+// the entry is absent or stale (wrong fingerprint or record count).
+// Fixed-budget cells load exactly minRecs == maxRecs records; adaptive
+// cells accept any count within the stop rule's Min..Max bounds — the
+// realized count is itself part of the cached result and round-trips as
+// len(Records). An unreadable or undecodable entry returns a non-nil
+// error: callers degrade it to a miss and surface the corruption as a
+// diagnostic event instead of silently recomputing.
+func loadCache(be Backend, fingerprint string, minRecs, maxRecs int) ([]TrialRecord, error) {
+	hash := cellHash(fingerprint)
+	data, err := be.Load(hash)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("campaign: cache entry %s unreadable: %w", hash, err)
+	}
+	if data == nil {
+		return nil, nil
 	}
 	var entry cacheEntry
-	if json.Unmarshal(data, &entry) != nil || entry.Fingerprint != fingerprint ||
-		len(entry.Records) < minRecs || len(entry.Records) > maxRecs {
-		return nil
+	if err := json.Unmarshal(data, &entry); err != nil {
+		return nil, fmt.Errorf("campaign: cache entry %s corrupt: %w", hash, err)
 	}
-	return entry.Records
+	if entry.Fingerprint != fingerprint ||
+		len(entry.Records) < minRecs || len(entry.Records) > maxRecs {
+		// Stale, not corrupt: a hash collision, an engine-version bump or
+		// a changed trial budget. A clean miss recomputes and overwrites.
+		return nil, nil
+	}
+	return entry.Records, nil
 }
 
-// storeCache persists one cell's records. The write is
-// temp-file-then-rename, so a crashed or concurrent shard never leaves
-// a torn entry for others to read.
-func storeCache(dir, fingerprint string, records []TrialRecord) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("campaign: cache dir: %w", err)
-	}
+// storeCache persists one cell's records under its fingerprint hash.
+func storeCache(be Backend, fingerprint string, records []TrialRecord) error {
 	data, err := json.Marshal(cacheEntry{Fingerprint: fingerprint, Records: records})
 	if err != nil {
 		return err
 	}
-	path := cachePath(dir, cellHash(fingerprint))
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("campaign: cache write: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: cache write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: cache write: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: cache write: %w", err)
-	}
-	return nil
+	return be.Store(cellHash(fingerprint), data)
 }
 
-// CacheEntries reports how many cache files a directory currently
-// holds (diagnostics for tests and the CLI).
-func CacheEntries(dir string) (int, error) {
-	entries, err := os.ReadDir(dir)
-	if errors.Is(err, fs.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, err
-	}
-	n := 0
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
-			n++
-		}
-	}
-	return n, nil
+// CacheEntries reports how many entries a cache directory currently
+// holds and their total size in bytes (diagnostics for tests and the
+// CLI's -cache-stats flag).
+func CacheEntries(dir string) (entries int, bytes int64, err error) {
+	return NewDirBackend(dir).Stats()
 }

@@ -127,6 +127,14 @@ func (p *Plan) EngineCells() ([]engine.Cell, error) {
 	return p.cells, nil
 }
 
+// Materialize prepares the given cells (indices into p.Cells) for
+// execution: snapshot warm-ups, then system construction and run
+// closures. Not safe for concurrent use — callers that execute cells
+// on their own workers (the campaign service's work-stealing
+// coordinator) must materialize every cell they will run before
+// launching those workers, exactly as Run does for its own pool.
+func (p *Plan) Materialize(cells []int) error { return p.materialize(cells) }
+
 // materialize prepares the given cells (indices into p.Cells) for
 // execution: snapshot warm-ups, then system construction and run
 // closures. Not safe for concurrent use (call before launching the

@@ -155,7 +155,7 @@ func TestDeterminismAcrossCacheResume(t *testing.T) {
 			t.Fatalf("warm cell %d not served from cache", i)
 		}
 	}
-	if n, err := CacheEntries(dir); err != nil || n != len(outCold.Plan.Cells) {
+	if n, _, err := CacheEntries(dir); err != nil || n != len(outCold.Plan.Cells) {
 		t.Fatalf("cache holds %d entries (err %v), want %d", n, err, len(outCold.Plan.Cells))
 	}
 }

@@ -18,11 +18,16 @@ type RunOptions struct {
 	// shards compute disjoint cells, and concatenating their outputs in
 	// shard order reproduces the unsharded output byte for byte.
 	Shard, Shards int
-	// CacheDir enables the content-addressed result cache: completed
-	// cells persist as one file per cell fingerprint, and a re-run (or
-	// a grown campaign sharing cells) recomputes only what is missing.
-	// Empty disables caching.
+	// CacheDir enables the content-addressed result cache on a local
+	// directory: completed cells persist as one file per cell
+	// fingerprint, and a re-run (or a grown campaign sharing cells)
+	// recomputes only what is missing. Empty disables caching (unless
+	// Cache is set).
 	CacheDir string
+	// Cache, when non-nil, is the cache backend to use and takes
+	// precedence over CacheDir. The campaign service injects shared
+	// (cross-run) backends here; plain CLI runs use CacheDir.
+	Cache Backend
 	// Observer receives the run's structured events (nil: none). Cells
 	// served from the cache replay their canonical lifecycle events from
 	// the stored records — with the same trial seeds the engine would
@@ -58,6 +63,44 @@ type Outcome struct {
 	CacheHits, CacheMisses int
 }
 
+// backend resolves the cache backend the options select: Cache wins,
+// then a DirBackend over CacheDir, then nil (caching disabled).
+func (o *RunOptions) backend() Backend {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	if o.CacheDir != "" {
+		return NewDirBackend(o.CacheDir)
+	}
+	return nil
+}
+
+// recordBounds returns the record-count bounds a cache entry must
+// satisfy: a fixed budget is exact, an adaptive cell's realized count
+// lands anywhere in the stop rule's bounds (the count itself
+// round-trips as len(Records)).
+func (p *Plan) recordBounds() (minRecs, maxRecs int) {
+	if p.cfg.Stop.Enabled() {
+		return p.cfg.Stop.Min, p.cfg.Stop.Max
+	}
+	return p.cfg.Trials, p.cfg.Trials
+}
+
+// LookupCached consults the backend for cell i's records. It returns
+// (records, nil) on a hit, (nil, nil) on a clean miss (absent or stale
+// entry), and (nil, err) when the entry exists but is unreadable or
+// undecodable — the caller treats that as a miss and surfaces the
+// corruption as an obs.KindCacheCorrupt diagnostic.
+func (p *Plan) LookupCached(be Backend, i int) ([]TrialRecord, error) {
+	minRecs, maxRecs := p.recordBounds()
+	return loadCache(be, p.cellFingerprint(&p.Cells[i]), minRecs, maxRecs)
+}
+
+// StoreCell persists cell i's computed records in the backend.
+func (p *Plan) StoreCell(be Backend, i int, records []TrialRecord) error {
+	return storeCache(be, p.cellFingerprint(&p.Cells[i]), records)
+}
+
 // Run executes the plan's owned shard on the engine pool, consulting
 // the cache first when enabled. Records are deterministic: for a fixed
 // campaign file the bytes of every record are identical across
@@ -68,18 +111,11 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 		return nil, err
 	}
 	p.SetObserver(opts.Observer)
+	be := opts.backend()
 	out := &Outcome{Plan: p, Results: make([]CellResult, hi-lo)}
 	obs.Emit(opts.Observer, obs.Event{
 		Kind: obs.KindCampaignStart, Cell: -1, Key: p.Spec.Name, Trial: -1, Count: hi - lo,
 	})
-
-	// Record-count bounds a cache entry must satisfy: a fixed budget is
-	// exact, an adaptive cell's realized count lands anywhere in the stop
-	// rule's bounds (the count itself round-trips as len(Records)).
-	minRecs, maxRecs := p.cfg.Trials, p.cfg.Trials
-	if p.cfg.Stop.Enabled() {
-		minRecs, maxRecs = p.cfg.Stop.Min, p.cfg.Stop.Max
-	}
 
 	// Cache pass: fill what's already known, collect the rest. Hits
 	// replay their canonical events so observers see the full campaign
@@ -88,8 +124,12 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 	for i := range out.Results {
 		cs := &p.Cells[lo+i]
 		out.Results[i].Cell = cs
-		if opts.CacheDir != "" {
-			if recs := loadCache(opts.CacheDir, p.cellFingerprint(cs), minRecs, maxRecs); recs != nil {
+		if be != nil {
+			recs, err := p.LookupCached(be, lo+i)
+			if err != nil {
+				obs.Emit(opts.Observer, obs.Event{Kind: obs.KindCacheCorrupt, Cell: cs.Index, Key: cs.Key, Trial: -1})
+			}
+			if recs != nil {
 				out.Results[i].Records = recs
 				out.Results[i].FromCache = true
 				out.CacheHits++
@@ -149,10 +189,9 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		if opts.CacheDir != "" {
+		if be != nil {
 			for _, i := range missing {
-				cs := out.Results[i].Cell
-				if err := storeCache(opts.CacheDir, p.cellFingerprint(cs), out.Results[i].Records); err != nil {
+				if err := p.StoreCell(be, out.Results[i].Cell.Index, out.Results[i].Records); err != nil {
 					return nil, err
 				}
 			}
@@ -163,6 +202,44 @@ func (p *Plan) Run(opts RunOptions) (*Outcome, error) {
 		Kind: obs.KindCampaignFinish, Cell: -1, Key: p.Spec.Name, Trial: -1, Count: hi - lo,
 	})
 	return out, nil
+}
+
+// ComputeCell executes cell i's trials on the caller-owned worker
+// context, returning the records in trial order. The cell must have
+// been materialized (Materialize) and the plan's observer bound
+// (SetObserver) before any worker starts. batch is the lockstep batch
+// width of plain cells (0 auto, 1 off), exactly RunOptions.Batch.
+//
+// Seeds, events and the stop rule are exactly the engine pool's — the
+// records (and the canonical event stream) are byte-identical to a
+// Plan.Run of the same cell, no matter which worker computes it or in
+// what order cells are claimed. This is the execution primitive of the
+// campaign service's work-stealing coordinator.
+func (p *Plan) ComputeCell(w *engine.WorkerCtx, i, batch int) ([]TrialRecord, error) {
+	if p.cells[i].RunOn == nil && p.cells[i].RunFaultOn == nil {
+		return nil, fmt.Errorf("campaign: cell %q computed without Materialize", p.Cells[i].Key)
+	}
+	cfg := p.cfg
+	cfg.BatchSize = batch
+	recs := make([]TrialRecord, 0, p.cfg.Trials)
+	if p.Faulted {
+		err := engine.RunFaultCellReduce(cfg, w, &p.cells[i], p.Cells[i].Index,
+			func(_, trial int, res *core.FaultResult) error {
+				var rec TrialRecord
+				rec.fillFault(res)
+				recs = append(recs, rec)
+				return nil
+			})
+		return recs, err
+	}
+	err := engine.RunCellReduce(cfg, w, &p.cells[i], p.Cells[i].Index,
+		func(_, trial int, res *core.RunResult) error {
+			var rec TrialRecord
+			rec.fillRun(res)
+			recs = append(recs, rec)
+			return nil
+		})
+	return recs, err
 }
 
 // remapObserver translates sub-slice-local engine cell indices into
@@ -177,6 +254,13 @@ func (r remapObserver) Observe(e obs.Event) {
 		e.Cell = r.abs[e.Cell]
 	}
 	r.o.Observe(e)
+}
+
+// ReplayCell emits cell i's canonical lifecycle events reconstructed
+// from cached records (see replayCell); the campaign service uses it
+// for its own cache pass.
+func (p *Plan) ReplayCell(o obs.Observer, i int, recs []TrialRecord) {
+	p.replayCell(o, &p.Cells[i], recs)
 }
 
 // replayCell emits a cached cell's canonical lifecycle events,

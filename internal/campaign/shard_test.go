@@ -1,0 +1,58 @@
+package campaign
+
+import "testing"
+
+// TestShardRangeEdgeCases pins shardRange on the degenerate inputs a
+// distributed driver can produce: more shards than cells (some shards
+// own nothing, the union still covers exactly), zero cells, negative or
+// out-of-range shard indices.
+func TestShardRangeEdgeCases(t *testing.T) {
+	t.Parallel()
+
+	// More shards than cells: every shard gets a valid (possibly empty)
+	// range and the ranges tile [0, n) exactly.
+	for _, tc := range []struct{ n, shards int }{{3, 5}, {1, 8}, {0, 4}, {7, 7}} {
+		covered := 0
+		prevHi := 0
+		for shard := 0; shard < tc.shards; shard++ {
+			lo, hi, err := shardRange(tc.n, shard, tc.shards)
+			if err != nil {
+				t.Fatalf("n=%d shard %d/%d: %v", tc.n, shard, tc.shards, err)
+			}
+			if lo != prevHi || hi < lo || hi > tc.n {
+				t.Fatalf("n=%d shard %d/%d: range [%d,%d) breaks the tiling (prev hi %d)",
+					tc.n, shard, tc.shards, lo, hi, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n || prevHi != tc.n {
+			t.Fatalf("n=%d shards=%d: covered %d cells ending at %d", tc.n, tc.shards, covered, prevHi)
+		}
+	}
+
+	// Zero cells, unsharded: the empty range, no error.
+	if lo, hi, err := shardRange(0, 0, 1); err != nil || lo != 0 || hi != 0 {
+		t.Fatalf("shardRange(0,0,1) = (%d,%d,%v)", lo, hi, err)
+	}
+
+	// Negative shard: rejected in both the sharded and unsharded forms.
+	if _, _, err := shardRange(10, -1, 4); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	if _, _, err := shardRange(10, -1, 1); err == nil {
+		t.Fatal("negative shard accepted with shards<=1")
+	}
+	// Shard >= shards: rejected.
+	if _, _, err := shardRange(10, 4, 4); err == nil {
+		t.Fatal("shard == shards accepted")
+	}
+	// shards <= 1 runs everything, but only as shard 0.
+	if lo, hi, err := shardRange(10, 0, 0); err != nil || lo != 0 || hi != 10 {
+		t.Fatalf("shardRange(10,0,0) = (%d,%d,%v)", lo, hi, err)
+	}
+	// Astronomical shard counts error instead of overflowing.
+	if _, _, err := shardRange(10, 1, maxCells+1); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+}

@@ -245,6 +245,113 @@ func RunCells(cfg Config, cells []Cell) ([][]*core.RunResult, error) {
 	return out, nil
 }
 
+// WorkerCtx is the reusable per-worker execution context of the
+// cell-at-a-time entry points (RunCellReduce, RunFaultCellReduce): the
+// per-trial Runner plus the lazily-bound lockstep BatchRunner and its
+// buffers. Callers that schedule cells themselves — the campaign
+// service's work-stealing coordinator — create one per worker goroutine
+// and reuse it across every cell that worker claims, exactly as the
+// pool paths do internally.
+type WorkerCtx struct{ reduceCtx }
+
+// NewWorkerCtx returns a fresh worker context.
+func NewWorkerCtx() *WorkerCtx {
+	return &WorkerCtx{reduceCtx{rn: core.NewRunner()}}
+}
+
+// RunCellReduce executes one cell's trials on w, folding every result
+// in trial order: the per-range execution primitive behind
+// RunCellsReduce. idx is the cell index stamped on events and passed to
+// fold — callers running a sub-set of a larger grid pass the absolute
+// index, so no remapping layer is needed. Trial seeds derive from
+// (cfg.Seed, cell.Key, trial) alone: for a fixed cfg the fold sequence
+// and the emitted events are byte-identical no matter which worker runs
+// the cell, in what order cells are claimed, or how a range was split.
+func RunCellReduce(cfg Config, w *WorkerCtx, cell *Cell, idx int, fold func(cell, trial int, res *core.RunResult) error) error {
+	cfg = cfg.WithDefaults()
+	return runCellReduce(cfg, &w.reduceCtx, cell, idx, rng.DeriveString(cfg.Seed, cell.Key), fold)
+}
+
+// RunFaultCellReduce is RunCellReduce for injected-trial cells (cells
+// that set RunFaultOn).
+func RunFaultCellReduce(cfg Config, w *WorkerCtx, cell *Cell, idx int, fold func(cell, trial int, res *core.FaultResult) error) error {
+	cfg = cfg.WithDefaults()
+	return runFaultCellReduce(cfg, &w.reduceCtx, cell, idx, rng.DeriveString(cfg.Seed, cell.Key), fold)
+}
+
+// runCellReduce runs one plain cell at the resolved batch width.
+func runCellReduce(cfg Config, w *reduceCtx, cell *Cell, idx int, cellSeed uint64, fold func(cell, trial int, res *core.RunResult) error) error {
+	if width := cfg.batchWidth(cell); width > 1 {
+		return runCellReduceBatched(cfg, cell, idx, cellSeed, w, width, fold)
+	}
+	obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: idx, Key: cell.Key, Trial: -1})
+	budget := cfg.Trials
+	if cfg.Stop.Enabled() {
+		budget = cfg.Stop.Max
+	}
+	var rounds stats.Stream
+	realized := 0
+	for trial := 0; trial < budget; trial++ {
+		seed := rng.Derive(cellSeed, uint64(trial))
+		obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialStart, Cell: idx, Key: cell.Key, Trial: trial, Seed: seed})
+		res, err := cell.runTrial(w.rn, trial, seed, &w.res)
+		if err != nil {
+			return fmt.Errorf("cell %q trial %d: %w", cell.Key, trial, err)
+		}
+		obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialFinish, Cell: idx, Key: cell.Key, Trial: trial,
+			Silent: res.Silent, Legit: res.LegitimateAtSilence,
+			Step: res.StepsToSilence, Round: res.RoundsToSilence})
+		if err := fold(idx, trial, res); err != nil {
+			return fmt.Errorf("cell %q trial %d: %w", cell.Key, trial, err)
+		}
+		realized = trial + 1
+		if cfg.Stop.Enabled() {
+			rounds.Add(float64(res.RoundsToSilence))
+			if cfg.Stop.done(realized, &rounds) {
+				break
+			}
+		}
+	}
+	obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: idx, Key: cell.Key, Trial: -1, Count: realized})
+	return nil
+}
+
+// runFaultCellReduce runs one injected-trial cell.
+func runFaultCellReduce(cfg Config, w *reduceCtx, cell *Cell, idx int, cellSeed uint64, fold func(cell, trial int, res *core.FaultResult) error) error {
+	if cell.RunFaultOn == nil {
+		return fmt.Errorf("cell %q has no RunFaultOn", cell.Key)
+	}
+	obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: idx, Key: cell.Key, Trial: -1})
+	budget := cfg.Trials
+	if cfg.Stop.Enabled() {
+		budget = cfg.Stop.Max
+	}
+	var rounds stats.Stream
+	realized := 0
+	for trial := 0; trial < budget; trial++ {
+		seed := rng.Derive(cellSeed, uint64(trial))
+		obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialStart, Cell: idx, Key: cell.Key, Trial: trial, Seed: seed})
+		if err := cell.RunFaultOn(w.rn, trial, seed, &w.faultRes); err != nil {
+			return fmt.Errorf("cell %q trial %d: %w", cell.Key, trial, err)
+		}
+		obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialFinish, Cell: idx, Key: cell.Key, Trial: trial,
+			Silent: w.faultRes.Silent, Legit: w.faultRes.LegitimateAtSilence,
+			Step: w.faultRes.StepsToSilence, Round: w.faultRes.RoundsToSilence, Count: w.faultRes.Injections})
+		if err := fold(idx, trial, &w.faultRes); err != nil {
+			return fmt.Errorf("cell %q trial %d: %w", cell.Key, trial, err)
+		}
+		realized = trial + 1
+		if cfg.Stop.Enabled() {
+			rounds.Add(float64(w.faultRes.RoundsToSilence))
+			if cfg.Stop.done(realized, &rounds) {
+				break
+			}
+		}
+	}
+	obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: idx, Key: cell.Key, Trial: -1, Count: realized})
+	return nil
+}
+
 // RunCellsReduce executes cfg.Trials trials of every cell (or an
 // adaptive count under an enabled cfg.Stop rule) and streams every
 // result through fold instead of materializing the grid: memory stays
@@ -273,39 +380,7 @@ func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *co
 	cellSeeds := cellSeedsFor(cfg, cells)
 	return forEachCtx(cfg.Parallelism, len(cells), func() *reduceCtx { return &reduceCtx{rn: core.NewRunner()} },
 		func(w *reduceCtx, i int) error {
-			if width := cfg.batchWidth(&cells[i]); width > 1 {
-				return runCellReduceBatched(cfg, &cells[i], i, cellSeeds[i], w, width, fold)
-			}
-			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: i, Key: cells[i].Key, Trial: -1})
-			budget := cfg.Trials
-			if cfg.Stop.Enabled() {
-				budget = cfg.Stop.Max
-			}
-			var rounds stats.Stream
-			realized := 0
-			for trial := 0; trial < budget; trial++ {
-				seed := rng.Derive(cellSeeds[i], uint64(trial))
-				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialStart, Cell: i, Key: cells[i].Key, Trial: trial, Seed: seed})
-				res, err := cells[i].runTrial(w.rn, trial, seed, &w.res)
-				if err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialFinish, Cell: i, Key: cells[i].Key, Trial: trial,
-					Silent: res.Silent, Legit: res.LegitimateAtSilence,
-					Step: res.StepsToSilence, Round: res.RoundsToSilence})
-				if err := fold(i, trial, res); err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-				realized = trial + 1
-				if cfg.Stop.Enabled() {
-					rounds.Add(float64(res.RoundsToSilence))
-					if cfg.Stop.done(realized, &rounds) {
-						break
-					}
-				}
-			}
-			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: i, Key: cells[i].Key, Trial: -1, Count: realized})
-			return nil
+			return runCellReduce(cfg, w, &cells[i], i, cellSeeds[i], fold)
 		})
 }
 
@@ -313,8 +388,9 @@ func RunCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *co
 // per-trial Runner plus, bound lazily on the first batched cell, the
 // lockstep BatchRunner with its seed and result buffers.
 type reduceCtx struct {
-	rn  *core.Runner
-	res core.RunResult
+	rn       *core.Runner
+	res      core.RunResult
+	faultRes core.FaultResult
 
 	br       *core.BatchRunner
 	seeds    []uint64
@@ -396,44 +472,9 @@ drain:
 func RunFaultCellsReduce(cfg Config, cells []Cell, fold func(cell, trial int, res *core.FaultResult) error) error {
 	cfg = cfg.WithDefaults()
 	cellSeeds := cellSeedsFor(cfg, cells)
-	type wctx struct {
-		rn  *core.Runner
-		res core.FaultResult
-	}
-	return forEachCtx(cfg.Parallelism, len(cells), func() *wctx { return &wctx{rn: core.NewRunner()} },
-		func(w *wctx, i int) error {
-			if cells[i].RunFaultOn == nil {
-				return fmt.Errorf("cell %q has no RunFaultOn", cells[i].Key)
-			}
-			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellStart, Cell: i, Key: cells[i].Key, Trial: -1})
-			budget := cfg.Trials
-			if cfg.Stop.Enabled() {
-				budget = cfg.Stop.Max
-			}
-			var rounds stats.Stream
-			realized := 0
-			for trial := 0; trial < budget; trial++ {
-				seed := rng.Derive(cellSeeds[i], uint64(trial))
-				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialStart, Cell: i, Key: cells[i].Key, Trial: trial, Seed: seed})
-				if err := cells[i].RunFaultOn(w.rn, trial, seed, &w.res); err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-				obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindTrialFinish, Cell: i, Key: cells[i].Key, Trial: trial,
-					Silent: w.res.Silent, Legit: w.res.LegitimateAtSilence,
-					Step: w.res.StepsToSilence, Round: w.res.RoundsToSilence, Count: w.res.Injections})
-				if err := fold(i, trial, &w.res); err != nil {
-					return fmt.Errorf("cell %q trial %d: %w", cells[i].Key, trial, err)
-				}
-				realized = trial + 1
-				if cfg.Stop.Enabled() {
-					rounds.Add(float64(w.res.RoundsToSilence))
-					if cfg.Stop.done(realized, &rounds) {
-						break
-					}
-				}
-			}
-			obs.Emit(cfg.Observer, obs.Event{Kind: obs.KindCellFinish, Cell: i, Key: cells[i].Key, Trial: -1, Count: realized})
-			return nil
+	return forEachCtx(cfg.Parallelism, len(cells), func() *reduceCtx { return &reduceCtx{rn: core.NewRunner()} },
+		func(w *reduceCtx, i int) error {
+			return runFaultCellReduce(cfg, w, &cells[i], i, cellSeeds[i], fold)
 		})
 }
 

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestBroadcastFanOut(t *testing.T) {
+	t.Parallel()
+	b := NewBroadcast()
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(4)
+	b.Observe(Event{Kind: KindCellStart, Cell: 1, Key: "k", Trial: -1})
+	b.Observe(Event{Kind: KindCellFinish, Cell: 1, Key: "k", Trial: -1, Count: 3})
+	b.Close()
+	for name, s := range map[string]*Subscription{"s1": s1, "s2": s2} {
+		var got []Event
+		for e := range s.C {
+			got = append(got, e)
+		}
+		if len(got) != 2 || got[0].Kind != KindCellStart || got[1].Count != 3 {
+			t.Fatalf("%s received %+v", name, got)
+		}
+		if s.Lagged() {
+			t.Fatalf("%s marked lagged", name)
+		}
+	}
+}
+
+// TestBroadcastDropsLagged: a full subscriber buffer never blocks the
+// emitter — the subscriber is dropped and its channel closed.
+func TestBroadcastDropsLagged(t *testing.T) {
+	t.Parallel()
+	b := NewBroadcast()
+	slow := b.Subscribe(1)
+	fast := b.Subscribe(8)
+	b.Observe(Event{Kind: KindTrialStart, Cell: 0, Trial: 0}) // fills slow's buffer
+	b.Observe(Event{Kind: KindTrialStart, Cell: 0, Trial: 1}) // drops slow
+	if b.Subscribers() != 1 {
+		t.Fatalf("want 1 surviving subscriber, got %d", b.Subscribers())
+	}
+	// slow: one buffered event, then a closed channel, Lagged set.
+	if e, ok := <-slow.C; !ok || e.Trial != 0 {
+		t.Fatalf("slow first receive: %+v ok=%v", e, ok)
+	}
+	if _, ok := <-slow.C; ok {
+		t.Fatal("slow channel not closed after drop")
+	}
+	if !slow.Lagged() {
+		t.Fatal("dropped subscriber not marked lagged")
+	}
+	// fast still receives everything.
+	b.Close()
+	n := 0
+	for range fast.C {
+		n++
+	}
+	if n != 2 || fast.Lagged() {
+		t.Fatalf("fast received %d events (lagged %v), want 2", n, fast.Lagged())
+	}
+}
+
+func TestBroadcastCancelAndLateSubscribe(t *testing.T) {
+	t.Parallel()
+	b := NewBroadcast()
+	s := b.Subscribe(2)
+	s.Cancel()
+	s.Cancel() // idempotent
+	if _, ok := <-s.C; ok {
+		t.Fatal("canceled channel still open")
+	}
+	if b.Subscribers() != 0 {
+		t.Fatalf("canceled subscriber still attached: %d", b.Subscribers())
+	}
+	b.Observe(Event{Kind: KindCellStart}) // no subscribers: no-op
+	b.Close()
+	b.Close() // idempotent
+	late := b.Subscribe(2)
+	if _, ok := <-late.C; ok {
+		t.Fatal("late subscriber to a closed broadcast got an open channel")
+	}
+	late.Cancel() // safe after close
+}
+
+// TestAppendJSONAllKinds: every kind renders one valid JSON object with
+// its kind name in "ev".
+func TestAppendJSONAllKinds(t *testing.T) {
+	t.Parallel()
+	for k := KindCampaignStart; k <= KindCacheCorrupt; k++ {
+		e := Event{Kind: k, Cell: 2, Key: "key\"with\tescapes", Trial: 1,
+			Seed: 42, Step: 7, Round: 3, Count: 5, Silent: true, Legit: true,
+			Recovered: true, Radius: 2}
+		buf := e.AppendJSON(nil)
+		var obj map[string]any
+		if err := json.Unmarshal(buf, &obj); err != nil {
+			t.Fatalf("kind %s: invalid JSON %q: %v", k, buf, err)
+		}
+		if obj["ev"] != k.String() {
+			t.Fatalf("kind %s: ev = %v", k, obj["ev"])
+		}
+	}
+	// Appending reuses the prefix.
+	e := Event{Kind: KindCellStart, Cell: 0, Key: "k", Trial: -1}
+	buf := e.AppendJSON([]byte("prefix-"))
+	if string(buf[:7]) != "prefix-" {
+		t.Fatalf("AppendJSON did not append: %q", buf)
+	}
+}
+
+// TestAppendJSONMatchesCanonicalFields: for canonical kinds the live
+// encoding carries the same fields as the replay encoding (minus seq),
+// so clients can correlate the streams.
+func TestAppendJSONMatchesCanonicalFields(t *testing.T) {
+	t.Parallel()
+	e := Event{Kind: KindTrialFinish, Cell: 3, Key: "k", Trial: 2,
+		Silent: true, Legit: false, Step: 11, Round: 4, Count: 1}
+	var live, canon map[string]any
+	if err := json.Unmarshal(e.AppendJSON(nil), &live); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(trimNL(appendCanonical(nil, 0, e)), &canon); err != nil {
+		t.Fatal(err)
+	}
+	delete(canon, "seq")
+	for k, v := range canon {
+		if lv, ok := live[k]; !ok || lv != v {
+			t.Fatalf("live encoding field %q = %v, canonical has %v", k, live[k], v)
+		}
+	}
+}
+
+func trimNL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		return b[:n-1]
+	}
+	return b
+}

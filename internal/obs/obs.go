@@ -69,6 +69,11 @@ const (
 	// (endpoints of changed edges, crashed/rejoined processes and their
 	// neighbors), Radius is -1 (diagnostic, like KindInjection).
 	KindTopology
+	// KindCacheCorrupt reports a cache entry that exists but could not
+	// be read or decoded (truncated file, I/O error): the cell degrades
+	// to a miss and is recomputed, and this diagnostic is the only trace
+	// of the corruption. Key is the cell key.
+	KindCacheCorrupt
 )
 
 var kindNames = [...]string{
@@ -84,6 +89,7 @@ var kindNames = [...]string{
 	KindInjection:      "injection",
 	KindRecovery:       "recovery",
 	KindTopology:       "topology",
+	KindCacheCorrupt:   "cache-corrupt",
 }
 
 func (k Kind) String() string {

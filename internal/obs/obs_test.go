@@ -28,7 +28,7 @@ func TestKindStringAndCanonical(t *testing.T) {
 		KindCellStart: true, KindCellFinish: true,
 		KindTrialStart: true, KindTrialFinish: true,
 	}
-	for k := KindCampaignStart; k <= KindTopology; k++ {
+	for k := KindCampaignStart; k <= KindCacheCorrupt; k++ {
 		if k.String() == "unknown" {
 			t.Fatalf("kind %d has no name", k)
 		}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"sync"
+	"testing"
+)
+
+// claimAll drives workers goroutines against one coordinator until
+// exhaustion, returning each worker's claim sequence.
+func claimAll(t *testing.T, n, workers int, steal StealPolicy) [][]int {
+	t.Helper()
+	c := NewCoordinator(n, workers, steal)
+	claims := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				pos, ok := c.Next(w)
+				if !ok {
+					return
+				}
+				claims[w] = append(claims[w], pos)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return claims
+}
+
+// checkCover asserts the fundamental invariant: every position in
+// [0, n) claimed exactly once — no gap, no overlap, full cover.
+func checkCover(t *testing.T, n int, claims [][]int) {
+	t.Helper()
+	seen := make([]int, n)
+	total := 0
+	for w, seq := range claims {
+		for _, pos := range seq {
+			if pos < 0 || pos >= n {
+				t.Fatalf("worker %d claimed out-of-range position %d (n=%d)", w, pos, n)
+			}
+			seen[pos]++
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("claimed %d positions, want %d", total, n)
+	}
+	for pos, count := range seen {
+		if count != 1 {
+			t.Fatalf("position %d claimed %d times", pos, count)
+		}
+	}
+}
+
+// TestCoordinatorCoverProperty: across sizes, worker counts and steal
+// policies — including deliberately hostile ones — the claim sets
+// partition the work exactly. This is the scheduling half of the
+// determinism contract: a position is claimed exactly once and
+// results merge by position, no steal pattern can perturb output.
+func TestCoordinatorCoverProperty(t *testing.T) {
+	t.Parallel()
+	policies := map[string]StealPolicy{
+		"largest":  nil, // default
+		"smallest": stealSmallest,
+		"zero":     func(thief int, remaining []int) int { return victimWithWork(0, thief, remaining) },
+		"rotate":   rotatePolicy(),
+		"refuse":   func(int, []int) int { return -1 },
+		"invalid":  func(int, []int) int { return 99999 },
+	}
+	for name, steal := range policies {
+		for _, tc := range []struct{ n, workers int }{
+			{0, 1}, {0, 4}, {1, 1}, {1, 8}, {5, 2}, {7, 16}, {64, 4}, {97, 5}, {128, 16},
+		} {
+			claims := claimAll(t, tc.n, tc.workers, steal)
+			checkCover(t, tc.n, claims)
+			_ = name
+		}
+	}
+	// Repeat the racy configurations a few times to shake interleavings.
+	for i := 0; i < 20; i++ {
+		checkCover(t, 33, claimAll(t, 33, 7, stealSmallest))
+		checkCover(t, 33, claimAll(t, 33, 7, nil))
+	}
+}
+
+// stealSmallest robs the poorest victim with work: maximizes steal
+// frequency (worst case for range fragmentation).
+func stealSmallest(thief int, remaining []int) int {
+	best, bestSize := -1, int(^uint(0)>>1)
+	for w, n := range remaining {
+		if w != thief && n > 0 && n < bestSize {
+			best, bestSize = w, n
+		}
+	}
+	return best
+}
+
+// victimWithWork returns pref if it has work (and isn't the thief),
+// else the first worker with work.
+func victimWithWork(pref, thief int, remaining []int) int {
+	if pref != thief && pref < len(remaining) && remaining[pref] > 0 {
+		return pref
+	}
+	for w, n := range remaining {
+		if w != thief && n > 0 {
+			return w
+		}
+	}
+	return -1
+}
+
+// rotatePolicy cycles the preferred victim on every steal.
+func rotatePolicy() StealPolicy {
+	var mu sync.Mutex
+	k := 0
+	return func(thief int, remaining []int) int {
+		mu.Lock()
+		k++
+		pref := k % len(remaining)
+		mu.Unlock()
+		return victimWithWork(pref, thief, remaining)
+	}
+}
+
+// TestCoordinatorOrderWithinSpan: a worker claims its own range front
+// to back (the per-worker in-order guarantee).
+func TestCoordinatorOrderWithinSpan(t *testing.T) {
+	t.Parallel()
+	c := NewCoordinator(10, 2, nil)
+	var got []int
+	for {
+		pos, ok := c.Next(0)
+		if !ok {
+			break
+		}
+		got = append(got, pos)
+	}
+	// Worker 0 owns [0,5) and must claim it front to back before any
+	// stolen work; stolen ranges come from worker 1's untouched [5,10).
+	if len(got) != 10 {
+		t.Fatalf("single active worker claimed %d of 10: %v", len(got), got)
+	}
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("own range not claimed in order: %v", got)
+		}
+	}
+	checkCover(t, 10, [][]int{got})
+}
+
+// TestCoordinatorStop: after Stop, Next refuses work and unclaimed
+// positions stay unclaimed (the drain contract).
+func TestCoordinatorStop(t *testing.T) {
+	t.Parallel()
+	c := NewCoordinator(8, 2, nil)
+	if _, ok := c.Next(0); !ok {
+		t.Fatal("fresh coordinator refused work")
+	}
+	c.Stop()
+	if _, ok := c.Next(0); ok {
+		t.Fatal("stopped coordinator handed out work")
+	}
+	if _, ok := c.Next(1); ok {
+		t.Fatal("stopped coordinator handed out work to another worker")
+	}
+	if c.Remaining() != 7 {
+		t.Fatalf("Remaining() = %d after 1 claim of 8, want 7", c.Remaining())
+	}
+}
+
+// TestCoordinatorMoreWorkersThanWork: surplus workers start empty and
+// either steal productively or exit; the work still partitions exactly.
+func TestCoordinatorMoreWorkersThanWork(t *testing.T) {
+	t.Parallel()
+	for i := 0; i < 10; i++ {
+		checkCover(t, 3, claimAll(t, 3, 16, stealSmallest))
+	}
+}

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// maxSpecBytes bounds a POSTed campaign source (specs are small text
+// files; a megabyte is generous).
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/runs               submit a .campaign source (body), 202 + run JSON
+//	POST /v1/runs?stream=1      submit and stream: run JSON line, then every progress event
+//	GET  /v1/runs               list runs in submission order
+//	GET  /v1/runs/{id}          one run's status
+//	GET  /v1/runs/{id}/stream   live progress, one JSON event per line (chunked)
+//	GET  /v1/runs/{id}/jsonl    per-trial records (once done)
+//	GET  /v1/runs/{id}/events   canonical event log (once done)
+//	GET  /v1/runs/{id}/table    aligned text summary (once done)
+//	GET  /v1/runs/{id}/csv      CSV summary (once done)
+//	GET  /v1/cache              shared cache backend stats
+//	GET  /v1/healthz            liveness
+//
+// The jsonl/events/table/csv artifacts are rendered exactly once at run
+// completion and carry the determinism contract: byte-identical to a
+// CLI run of the same campaign at the same seed, for every worker
+// count, steal schedule and cache state. The stream is live diagnostics
+// (bounded per-subscriber buffering; a lagging client's feed is cut,
+// marked by a trailing truncation line).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/runs/{id}/{output}", s.handleOutput)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true}`+"\n")
+	})
+	return mux
+}
+
+// runJSON is the wire form of a run's status.
+type runJSON struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	State  State  `json:"state"`
+	Cells  int    `json:"cells"`
+	Hits   int    `json:"cache_hits"`
+	Misses int    `json:"cache_misses"`
+	Error  string `json:"error,omitempty"`
+	Stream string `json:"stream"`
+}
+
+func runStatus(r *Run) runJSON {
+	state, err := r.State()
+	hits, misses := r.CacheStats()
+	j := runJSON{
+		ID: r.ID, Name: r.Name(), State: state, Cells: r.Cells(),
+		Hits: hits, Misses: misses,
+		Stream: "/v1/runs/" + r.ID + "/stream",
+	}
+	if err != nil {
+		j.Error = err.Error()
+	}
+	return j
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	src, err := io.ReadAll(io.LimitReader(req.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(src) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("campaign source exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	if req.URL.Query().Get("stream") != "" {
+		s.submitStream(w, req, string(src))
+		return
+	}
+	r, err := s.Submit(string(src))
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") || strings.Contains(err.Error(), "shutting down") {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, runStatus(r))
+}
+
+// submitStream is the POST /v1/runs?stream=1 form: the response body is
+// ndjson whose first line is the run's status object and whose
+// remaining lines are the run's progress events, complete from the
+// first event because the subscription attaches before the run is
+// enqueued (a separate GET .../stream races with execution and can
+// join a fast run late, or after it finished).
+func (s *Service) submitStream(w http.ResponseWriter, req *http.Request, src string) {
+	r, sub, err := s.SubmitStream(src, 4096)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") || strings.Contains(err.Error(), "shutting down") {
+			code = http.StatusServiceUnavailable
+		}
+		if sub != nil {
+			sub.Cancel()
+		}
+		writeError(w, code, err)
+		return
+	}
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	head, _ := json.Marshal(runStatus(r))
+	w.Write(append(head, '\n'))
+	streamEvents(w, req, sub)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	runs := s.Runs()
+	list := make([]runJSON, len(runs))
+	for i, r := range runs {
+		list[i] = runStatus(r)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Service) run(w http.ResponseWriter, req *http.Request) (*Run, bool) {
+	r, ok := s.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no run %q", req.PathValue("id")))
+		return nil, false
+	}
+	return r, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if r, ok := s.run(w, req); ok {
+		writeJSON(w, http.StatusOK, runStatus(r))
+	}
+}
+
+// handleStream sends the run's live events as one JSON object per line,
+// flushing per event, until the run finishes, the feed lags out, or the
+// client disconnects. A stream opened after completion ends immediately
+// (fetch the terminal artifacts instead).
+func (s *Service) handleStream(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.run(w, req)
+	if !ok {
+		return
+	}
+	sub := r.Subscribe(4096)
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	streamEvents(w, req, sub)
+}
+
+// streamEvents drains a subscription to the response as one JSON object
+// per line, flushing per event, until the feed closes (run finished or
+// lagged out) or the client disconnects.
+func streamEvents(w http.ResponseWriter, req *http.Request, sub *obs.Subscription) {
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	var buf []byte
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case e, open := <-sub.C:
+			if !open {
+				if sub.Lagged() {
+					io.WriteString(w, `{"ev":"stream-truncated","reason":"subscriber lagged"}`+"\n")
+				}
+				return
+			}
+			buf = e.AppendJSON(buf[:0])
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func (s *Service) handleOutput(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.run(w, req)
+	if !ok {
+		return
+	}
+	kind := req.PathValue("output")
+	data, err := r.Output(kind)
+	if err != nil {
+		code := http.StatusConflict // not done yet
+		if state, _ := r.State(); state == StateFailed {
+			code = http.StatusInternalServerError
+		}
+		if errors.Is(err, errUnknownOutput) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	switch kind {
+	case "jsonl", "events":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Write(data)
+}
+
+func (s *Service) handleCache(w http.ResponseWriter, _ *http.Request) {
+	entries, size, err := s.CacheStats()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entries": entries, "bytes": size})
+}
